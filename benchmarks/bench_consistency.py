@@ -1,0 +1,46 @@
+"""CONS-CHECK — satisfiability checking time vs number of CFDs.
+
+The constraint engine warns users when "the specified set of CFDs does not
+make sense".  This benchmark measures the witness-search cost as the number
+of registered CFDs grows, and the cost of diagnosing an inconsistent set
+(which additionally shrinks a conflicting core).
+"""
+
+import pytest
+
+from repro.analysis.consistency import check_consistency
+from repro.core.parser import parse_cfd
+from repro.datasets import paper_cfds
+
+
+def constant_bindings(count):
+    """`count` constant CFDs binding synthetic country codes to countries."""
+    cfds = []
+    for index in range(count):
+        cfds.append(
+            parse_cfd(
+                f"customer: [CC='{100 + index}'] -> [CNT='C{index}']",
+                name=f"bind{index}",
+            )
+        )
+    return cfds
+
+
+@pytest.mark.parametrize("cfd_count", [4, 16, 64])
+def test_consistency_check_vs_cfd_count(benchmark, cfd_count):
+    """Witness search over a growing, consistent constraint set."""
+    cfds = (paper_cfds() + constant_bindings(cfd_count))[:cfd_count]
+    result = benchmark(check_consistency, cfds)
+    benchmark.extra_info["cfds"] = cfd_count
+    assert result.consistent
+
+
+def test_inconsistent_set_diagnosis(benchmark):
+    """Detecting an inconsistent set and shrinking it to a conflicting core."""
+    cfds = paper_cfds() + constant_bindings(12)
+    cfds.append(parse_cfd("customer: [CC=_] -> [CNT='EVERYWHERE']", name="bad1"))
+    cfds.append(parse_cfd("customer: [CC=_] -> [CNT='NOWHERE']", name="bad2"))
+    result = benchmark(check_consistency, cfds)
+    benchmark.extra_info["conflict_core"] = result.conflict
+    assert not result.consistent
+    assert result.conflict and len(result.conflict) <= 3

@@ -1,0 +1,37 @@
+"""DISC — CFD discovery from reference data vs support threshold.
+
+The constraint engine can discover CFDs "automatically from reference data".
+This benchmark sweeps the minimum support and reports how many constant
+rules and variable CFDs are found, and how long discovery takes.
+"""
+
+import pytest
+
+from repro.datasets import generate_customers
+from repro.discovery.cfdminer import ConstantCfdMiner
+from repro.discovery.ctane import VariableCfdDiscoverer
+
+REFERENCE = generate_customers(400, seed=91)
+
+
+@pytest.mark.parametrize("min_support", [5, 20, 80])
+def test_constant_discovery_vs_support(benchmark, min_support):
+    """Constant-CFD count shrinks as the support threshold rises."""
+    miner = ConstantCfdMiner(min_support=min_support, min_confidence=1.0, max_lhs_size=1)
+    rules = benchmark(miner.mine, REFERENCE)
+    benchmark.extra_info["min_support"] = min_support
+    benchmark.extra_info["rules_found"] = len(rules)
+    assert all(rule.support >= min_support for rule in rules)
+
+
+@pytest.mark.parametrize("min_support", [5, 20])
+def test_variable_discovery_vs_support(benchmark, min_support):
+    """Variable-CFD / FD discovery under the same sweep."""
+    discoverer = VariableCfdDiscoverer(
+        min_support=min_support, min_confidence=1.0, max_lhs_size=2, max_conditions=1
+    )
+    discovered = benchmark.pedantic(discoverer.discover, args=(REFERENCE,), rounds=1, iterations=1)
+    benchmark.extra_info["min_support"] = min_support
+    benchmark.extra_info["cfds_found"] = len(discovered)
+    fds = {(item.cfd.lhs, item.cfd.rhs) for item in discovered if not item.conditional}
+    assert (("CC",), ("CNT",)) in fds

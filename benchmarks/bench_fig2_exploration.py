@@ -1,0 +1,57 @@
+"""FIG2 — Data exploration using CFDs (paper Fig. 2).
+
+Regenerates the drill-down content of the demo (CFD list with violation
+counts → pattern tuples → LHS matches → RHS values) and benchmarks the
+navigation path on a larger generated relation, which is what the explorer
+must sustain interactively.
+"""
+
+import pytest
+
+from bench_utils import make_dirty_customers, make_system, report_series
+
+
+def drill_down(system):
+    explorer = system.explorer("customer")
+    summaries = explorer.list_cfds()
+    phi2 = next(s for s in summaries if s.cfd_id == "phi2")
+    patterns = explorer.patterns_for(phi2.cfd_id)
+    lhs = explorer.lhs_matches(phi2.cfd_id, 0)
+    rhs = explorer.rhs_values(phi2.cfd_id, 0, lhs[0].lhs_values) if lhs else []
+    return summaries, patterns, lhs, rhs
+
+
+def test_fig2_demo_content(demo_system, benchmark):
+    """The exact walk of Fig. 2 on the paper's example instance."""
+    demo_system.detect("customer")
+    summaries, patterns, lhs, rhs = benchmark(drill_down, demo_system)
+    report_series(
+        "FIG2 CFD list (violation counts guide navigation)",
+        [
+            {"cfd": s.cfd_id, "violating_tuples": s.violating_tuples}
+            for s in summaries
+        ],
+    )
+    report_series(
+        "FIG2 drill-down on phi2",
+        [
+            {"level": "pattern", "pattern": patterns[0].rendered, "violations": patterns[0].violating_tuples},
+            {"level": "lhs", "values": lhs[0].lhs_values, "violations": lhs[0].violating_tuples},
+            {"level": "rhs", "distinct_values": len(rhs)},
+        ],
+    )
+    assert {entry.value for entry in rhs} == {"Mayfield Rd", "Crichton St"}
+
+
+@pytest.mark.parametrize("size", [300, 1000])
+def test_fig2_navigation_scales(benchmark, size):
+    """Drill-down latency on generated data of increasing size."""
+    _clean, noise = make_dirty_customers(size, rate=0.03, seed=size)
+    system = make_system(noise.dirty)
+    system.detect("customer")
+    summaries, _patterns, lhs, _rhs = benchmark(drill_down, system)
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["violating_tuples_phi2"] = next(
+        s.violating_tuples for s in summaries if s.cfd_id == "phi2"
+    )
+    assert lhs, "expected at least one LHS group for the UK pattern"

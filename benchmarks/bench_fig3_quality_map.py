@@ -1,0 +1,45 @@
+"""FIG3 — Error detection and the data quality map (paper Fig. 3).
+
+Regenerates the per-tuple ``vio(t)`` distribution and the shade histogram of
+the tuple-level quality map, and times the map construction on generated
+data of increasing dirtiness.
+"""
+
+import pytest
+
+from bench_utils import make_dirty_customers, make_system, report_series
+
+
+def build_map(system):
+    return system.audit("customer").quality_map
+
+
+def test_fig3_demo_quality_map(demo_system, benchmark):
+    """The quality map of the paper's example: Anna is the darkest tuple."""
+    demo_system.detect("customer")
+    quality_map = benchmark(build_map, demo_system)
+    report_series(
+        "FIG3 vio(t) per tuple",
+        [{"tid": tid, "vio": vio, "shade": quality_map.shade_of(tid)}
+         for tid, vio in sorted(quality_map.vio.items())],
+    )
+    assert quality_map.bucket_of(4) == max(quality_map.buckets.values())
+    assert quality_map.bucket_of(2) == 0
+
+
+@pytest.mark.parametrize("rate", [0.01, 0.05, 0.10])
+def test_fig3_quality_map_vs_noise(benchmark, rate):
+    """Shade histogram shifts darker as the injected error rate grows."""
+    _clean, noise = make_dirty_customers(600, rate=rate, seed=int(rate * 1000))
+    system = make_system(noise.dirty)
+    system.detect("customer")
+    quality_map = benchmark(build_map, system)
+    histogram = quality_map.histogram()
+    benchmark.extra_info["noise_rate"] = rate
+    benchmark.extra_info["histogram"] = histogram
+    report_series(
+        f"FIG3 shade histogram at noise rate {rate}",
+        [{"shade": shade, "tuples": count} for shade, count in histogram.items()],
+    )
+    dirty_tuples = sum(count for shade, count in histogram.items() if shade != "clean")
+    assert rate == 0.01 or dirty_tuples > 0

@@ -1,0 +1,57 @@
+"""FIG4 — The data quality report (paper Fig. 4).
+
+Regenerates the pie chart (tuple cleanliness categories) and the
+per-attribute verified/probably/arguably-clean bar chart, and times the
+auditor on generated data.
+"""
+
+import pytest
+
+from bench_utils import make_dirty_customers, make_system, report_series
+
+
+def audit(system):
+    return system.audit("customer")
+
+
+def test_fig4_demo_report(demo_system, benchmark):
+    """Pie and bar charts on the paper's example instance."""
+    demo_system.detect("customer")
+    result = benchmark(audit, demo_system)
+    report_series(
+        "FIG4 pie chart (tuple categories)",
+        [{"category": category, "tuples": count} for category, count in result.pie_chart().items()],
+    )
+    report_series(
+        "FIG4 bar chart (per-attribute % dirty)",
+        [
+            {"attribute": attribute, "dirty_pct": round(categories.get("dirty", 0.0), 1)}
+            for attribute, categories in result.bar_chart().items()
+        ],
+    )
+    assert result.pie_chart()["dirty"] == 3
+    assert result.worst_attributes(top=1)[0][0] == "STR"
+
+
+@pytest.mark.parametrize("rate", [0.02, 0.08])
+def test_fig4_report_vs_noise(benchmark, rate):
+    """Dirty percentage and violation statistics as functions of the error rate."""
+    _clean, noise = make_dirty_customers(500, rate=rate, seed=int(rate * 100))
+    system = make_system(noise.dirty)
+    system.detect("customer")
+    result = benchmark(audit, system)
+    benchmark.extra_info["noise_rate"] = rate
+    benchmark.extra_info["dirty_percentage"] = round(result.dirty_percentage(), 2)
+    benchmark.extra_info["avg_vio"] = round(result.statistics["avg_vio"], 3)
+    report_series(
+        f"FIG4 summary at noise rate {rate}",
+        [
+            {
+                "dirty_pct": round(result.dirty_percentage(), 2),
+                "single_violations": result.statistics["single_violations"],
+                "multi_violations": result.statistics["multi_violations"],
+                "max_group_size": result.statistics["max_group_size"],
+            }
+        ],
+    )
+    assert result.tuple_count == 500

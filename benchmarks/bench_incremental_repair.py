@@ -1,0 +1,64 @@
+"""REP-INCR — incremental repair (IncRepair) vs full re-repair under updates.
+
+Companion experiment of [8]: when a cleansed database receives a batch of
+updates, repairing only the violations that involve the updated tuples is
+much cheaper than re-repairing the whole relation, and it never touches
+previously cleansed data.
+"""
+
+import pytest
+
+from repro.datasets import generate_customers, paper_cfds
+from repro.repair.incremental import IncrementalRepairer
+from repro.repair.repairer import BatchRepairer
+
+RELATION_SIZE = 600
+
+
+def corrupted_batch(relation, count):
+    """New rows cloned from existing UK rows, each with a conflicting street.
+
+    UK rows are used so every inserted row violates phi2 ([CNT='UK', ZIP] ->
+    [STR]) against its clone — the update batch is guaranteed to need repair.
+    """
+    uk_tids = [tid for tid, row in relation.rows() if row.get("CNT") == "UK"]
+    rows = []
+    for index in range(count):
+        row = dict(relation.get(uk_tids[index % len(uk_tids)]))
+        row["STR"] = f"Wrong Street {index}"
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("batch_size", [1, 10, 50])
+def test_incremental_repair_vs_batch_size(benchmark, batch_size):
+    """IncRepair cost grows with the update batch, not with the relation."""
+    cfds = paper_cfds()
+
+    def run():
+        relation = generate_customers(RELATION_SIZE, seed=55)
+        batch = corrupted_batch(relation, batch_size)
+        repairer = IncrementalRepairer()
+        new_tids, repair = repairer.insert_and_repair(relation, cfds, batch)
+        repairer.verify_untouched(repair, protected_tids=set(relation.tids()) - set(new_tids))
+        return repair
+
+    repair = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["cells_changed"] = len(repair.changes)
+    assert repair.changed_tids() != set() or batch_size == 0
+
+
+def test_full_rerepair_baseline(benchmark):
+    """The full-repair baseline IncRepair is compared against (50-row batch)."""
+    cfds = paper_cfds()
+
+    def run():
+        relation = generate_customers(RELATION_SIZE, seed=55)
+        for row in corrupted_batch(relation, 50):
+            relation.insert(row)
+        return BatchRepairer().repair(relation, cfds)
+
+    repair = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cells_changed"] = len(repair.changes)
+    assert len(repair.changes) > 0

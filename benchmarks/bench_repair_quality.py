@@ -1,0 +1,65 @@
+"""REP-QUALITY — repair precision/recall vs injected noise rate.
+
+Companion experiment of [8] (VLDB 2007): the heuristic repair produces
+candidate repairs of high quality, degrading gracefully as the error rate
+grows.  Ground truth comes from the seeded noise injector, so precision and
+recall are measured exactly.
+"""
+
+import pytest
+
+from bench_utils import make_dirty_customers, report_series
+from repro.datasets import paper_cfds
+from repro.repair.repairer import BatchRepairer, repair_quality
+
+
+def run_repair(dirty, cfds):
+    return BatchRepairer().repair(dirty, cfds)
+
+
+@pytest.mark.parametrize("rate", [0.02, 0.05, 0.10])
+def test_repair_quality_vs_noise(benchmark, rate):
+    """Precision / recall / F1 against ground truth at several noise rates."""
+    clean, noise = make_dirty_customers(400, rate=rate, seed=int(rate * 1000) + 3)
+    cfds = paper_cfds()
+    repair = benchmark.pedantic(run_repair, args=(noise.dirty, cfds), rounds=1, iterations=1)
+    quality = repair_quality(repair, clean, noise.dirty)
+    benchmark.extra_info.update(
+        {
+            "noise_rate": rate,
+            "precision": round(quality["precision"], 3),
+            "recall": round(quality["recall"], 3),
+            "f1": round(quality["f1"], 3),
+            "cells_changed": int(quality["changed_cells"]),
+            "cells_corrupted": int(quality["corrupted_cells"]),
+            "residual_violations": repair.residual_violations,
+        }
+    )
+    report_series(
+        f"REP-QUALITY at noise rate {rate}",
+        [
+            {
+                "precision": round(quality["precision"], 3),
+                "recall": round(quality["recall"], 3),
+                "f1": round(quality["f1"], 3),
+                "residual_violations": repair.residual_violations,
+            }
+        ],
+    )
+    assert quality["precision"] > 0.3
+    assert repair.residual_violations <= repair.iterations
+
+
+def test_repair_quality_swap_only_errors(benchmark):
+    """Swap errors (plausible wrong values) are the headline case of [8]."""
+    from repro.datasets import generate_customers, inject_noise
+
+    clean = generate_customers(400, seed=77)
+    noise = inject_noise(clean, rate=0.05, seed=78, attributes=["CNT", "CITY", "CC"], kinds=("swap",))
+    repair = benchmark.pedantic(
+        run_repair, args=(noise.dirty, paper_cfds()), rounds=1, iterations=1
+    )
+    quality = repair_quality(repair, clean, noise.dirty)
+    benchmark.extra_info["precision"] = round(quality["precision"], 3)
+    benchmark.extra_info["recall"] = round(quality["recall"], 3)
+    assert quality["precision"] >= 0.5

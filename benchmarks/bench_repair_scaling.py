@@ -1,0 +1,37 @@
+"""REP-SCALE — repair wall time vs relation size and noise rate.
+
+Companion experiment of [8]: repair time grows with the number of violations
+(hence with both relation size and error rate); the benchmark reports the
+series so the growth shape can be compared.
+"""
+
+import pytest
+
+from bench_utils import make_dirty_customers
+from repro.datasets import paper_cfds
+from repro.repair.repairer import BatchRepairer
+
+
+def run_repair(dirty):
+    return BatchRepairer().repair(dirty, paper_cfds())
+
+
+@pytest.mark.parametrize("size", [200, 400, 800])
+def test_repair_time_vs_size(benchmark, size):
+    """Repair time as the relation grows at a fixed 4% error rate."""
+    _clean, noise = make_dirty_customers(size, rate=0.04, seed=size + 1)
+    repair = benchmark.pedantic(run_repair, args=(noise.dirty,), rounds=1, iterations=1)
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["cells_changed"] = len(repair.changes)
+    benchmark.extra_info["iterations"] = repair.iterations
+    assert repair.iterations >= 1
+
+
+@pytest.mark.parametrize("rate", [0.02, 0.08])
+def test_repair_time_vs_noise(benchmark, rate):
+    """Repair time as the error rate grows at a fixed size of 500 tuples."""
+    _clean, noise = make_dirty_customers(500, rate=rate, seed=int(rate * 500) + 9)
+    repair = benchmark.pedantic(run_repair, args=(noise.dirty,), rounds=1, iterations=1)
+    benchmark.extra_info["noise_rate"] = rate
+    benchmark.extra_info["cells_changed"] = len(repair.changes)
+    assert len(repair.changes) >= 0

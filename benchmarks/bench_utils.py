@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of DESIGN.md's experiment index
+(FIG2–FIG5 demo scenarios plus the performance/quality experiments).  The
+helpers here build the standard workloads: clean generated customer data,
+seeded noise, and a Semandaq system wired with the paper's CFDs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Database, Semandaq
+from repro.datasets import generate_customers, inject_noise, paper_cfds
+
+#: attributes the noise injector corrupts in the benchmark workloads — the
+#: ones the paper's CFDs constrain.
+NOISY_ATTRIBUTES = ["CNT", "CITY", "STR", "CC"]
+
+
+def make_dirty_customers(size: int, rate: float, seed: int = 0):
+    """Clean relation and noise result for a benchmark run."""
+    clean = generate_customers(size, seed=seed)
+    noise = inject_noise(clean, rate=rate, seed=seed + 1, attributes=NOISY_ATTRIBUTES)
+    return clean, noise
+
+
+def make_system(relation, cfds=None) -> Semandaq:
+    """A Semandaq system with ``relation`` registered and CFDs added."""
+    system = Semandaq()
+    system.register_relation(relation)
+    system.add_cfds(cfds if cfds is not None else paper_cfds())
+    return system
+
+
+def make_database(relation) -> Database:
+    """A bare database holding ``relation``."""
+    database = Database()
+    database.add_relation(relation)
+    return database
+
+
+def report_series(title: str, rows) -> None:
+    """Print one experiment series (visible with ``pytest -s`` / in captured logs)."""
+    print(f"\n[{title}]", file=sys.stderr)
+    for row in rows:
+        print("  " + ", ".join(f"{key}={value}" for key, value in row.items()), file=sys.stderr)

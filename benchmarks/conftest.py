@@ -1,0 +1,17 @@
+"""Fixtures shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Semandaq
+from repro.datasets import paper_cfds, paper_example_relation
+
+
+@pytest.fixture
+def demo_system():
+    """The paper's hand-written example wired into a full system."""
+    system = Semandaq()
+    system.register_relation(paper_example_relation())
+    system.add_cfds(paper_cfds())
+    return system

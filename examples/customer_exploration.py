@@ -1,0 +1,98 @@
+"""Interactive-style exploration of the paper's running example (Figs. 2-5).
+
+Replays the demo walkthrough on the small hand-written ``customer`` instance:
+the CFD → pattern → LHS → RHS drill-down of Fig. 2, the quality map of
+Fig. 3, the quality report of Fig. 4, and the cleansing review of Fig. 5 —
+all rendered as text.
+
+Run with::
+
+    python examples/customer_exploration.py
+"""
+
+from repro import Semandaq
+from repro.datasets import paper_cfds, paper_example_relation
+from repro.explorer import (
+    render_quality_map,
+    render_quality_report,
+    render_relation,
+    render_repair_diff,
+    render_table,
+)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    system = Semandaq()
+    system.register_relation(paper_example_relation())
+    system.add_cfds(paper_cfds())
+
+    banner("The customer relation (paper's running example)")
+    print(render_relation(system.database.relation("customer")))
+
+    banner("Registered CFDs")
+    print(render_table(system.constraints.describe(), columns=["id", "text", "patterns"]))
+
+    report = system.detect("customer")
+
+    banner("Fig. 2 — Data exploration using CFDs")
+    session = system.exploration_session("customer")
+    cfd_rows = [
+        {"cfd": o.cfd_id, "lhs": ",".join(o.lhs), "rhs": ",".join(o.rhs),
+         "violating tuples": o.violating_tuples}
+        for o in session.options()
+    ]
+    print(render_table(cfd_rows))
+    print("\n-> selecting phi2 ([CNT='UK', ZIP] -> [STR]) ...")
+    patterns = session.select("phi2")
+    print(render_table([{"pattern": p.rendered, "violations": p.violating_tuples} for p in patterns]))
+    print("\n-> selecting its pattern tuple ...")
+    lhs_matches = session.select(patterns[0])
+    print(render_table([
+        {"lhs values": m.lhs_values, "tuples": m.tuple_count, "violations": m.violating_tuples}
+        for m in lhs_matches
+    ]))
+    print("\n-> selecting the violating postcode (UK, EH4 1DT) ...")
+    rhs_values = session.select(lhs_matches[0])
+    print(render_table([
+        {"street": v.value, "tuples": v.tuple_count, "violations": v.violating_tuples}
+        for v in rhs_values
+    ]))
+
+    banner("Fig. 2 (reverse) — why is Anna's tuple dirty?")
+    explanation = system.explorer("customer").explain_tuple(4)
+    print(f"vio(t) = {explanation['vio']}")
+    for entry in explanation["relevant_cfds"]:
+        status = "VIOLATED" if entry["violated"] else "applies, satisfied"
+        print(f"  {entry['cfd']}: {status}")
+
+    banner("Fig. 3 — Data quality map")
+    audit = system.audit("customer")
+    print(render_quality_map(system.database.relation("customer"), audit.quality_map))
+
+    banner("Fig. 4 — Data quality report")
+    print(render_quality_report(audit))
+
+    banner("Fig. 5 — Data cleansing review")
+    repair = system.repair("customer")
+    print(render_repair_diff(repair))
+    review = system.review("customer")
+    change = review.modified_cells()[0]
+    print(f"\nUser overrides ({change.tid}, {change.attribute}) back to {change.old_value!r} ...")
+    conflicts = review.override(change.tid, change.attribute, change.old_value)
+    for note in conflicts:
+        print(f"  conflict reintroduced: {note.cfd_id} ({note.kind}) involving tuples {note.tids}")
+
+    banner("Applying the candidate repair")
+    system.apply_repair("customer")
+    print(f"violations after repair: {system.detect('customer').total_violations()}")
+
+
+if __name__ == "__main__":
+    main()

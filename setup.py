@@ -1,0 +1,11 @@
+"""Setup shim for editable installs on environments without the wheel package."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Semandaq reproduction: a data quality system based on conditional functional dependencies",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,75 @@
+"""Semandaq reproduction: a data quality system based on conditional functional dependencies.
+
+The package reproduces the system demonstrated in "Semandaq: A Data Quality
+System Based on Conditional Functional Dependencies" (Fan, Geerts, Jia,
+VLDB 2008) as a Python library:
+
+* :mod:`repro.engine` — the relational substrate (typed relations, indexes,
+  a SQL subset, CSV/JSON I/O);
+* :mod:`repro.core` — the CFD formalism (pattern tuples, tableaux, parsing,
+  semantics);
+* :mod:`repro.analysis` — static analysis (consistency, implication, covers);
+* :mod:`repro.detection` — SQL-based batch detection and incremental detection;
+* :mod:`repro.audit` — quality metrics, quality maps and reports;
+* :mod:`repro.repair` — the cost-based heuristic cleanser and incremental repair;
+* :mod:`repro.discovery` — CFD discovery from reference data;
+* :mod:`repro.monitor` — the data monitor;
+* :mod:`repro.explorer` — drill-down exploration and text rendering;
+* :mod:`repro.system` — the :class:`~repro.system.semandaq.Semandaq` facade;
+* :mod:`repro.datasets` — synthetic workloads with seeded error injection.
+
+Quickstart::
+
+    from repro import Semandaq
+    from repro.datasets import generate_customers, paper_cfds, inject_noise
+
+    clean = generate_customers(500, seed=1)
+    dirty = inject_noise(clean, rate=0.03, seed=2).dirty
+
+    system = Semandaq()
+    system.register_relation(dirty)
+    system.add_cfds(paper_cfds())
+    report = system.detect("customer")
+    print(system.audit("customer").pie_chart())
+    repair = system.repair("customer")
+"""
+
+from .core.cfd import CFD
+from .core.parser import format_cfd, parse_cfd, parse_cfds
+from .core.pattern import PatternTuple, PatternValue
+from .detection.detector import ErrorDetector
+from .detection.violations import Violation, ViolationReport
+from .engine.database import Database
+from .engine.relation import Relation
+from .engine.types import AttributeDef, DataType, RelationSchema
+from .errors import SemandaqError
+from .repair.cost import CostModel
+from .repair.repairer import BatchRepairer, Repair
+from .system.config import SemandaqConfig
+from .system.semandaq import Semandaq
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CFD",
+    "PatternTuple",
+    "PatternValue",
+    "parse_cfd",
+    "parse_cfds",
+    "format_cfd",
+    "Database",
+    "Relation",
+    "RelationSchema",
+    "AttributeDef",
+    "DataType",
+    "ErrorDetector",
+    "Violation",
+    "ViolationReport",
+    "CostModel",
+    "BatchRepairer",
+    "Repair",
+    "Semandaq",
+    "SemandaqConfig",
+    "SemandaqError",
+    "__version__",
+]

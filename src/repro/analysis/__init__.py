@@ -1,0 +1,24 @@
+"""Static analysis of CFD sets: consistency, implication, minimal covers."""
+
+from .consistency import (
+    ConsistencyResult,
+    assert_consistent,
+    check_consistency,
+    pairwise_conflicts,
+)
+from .implication import equivalent, implies, is_redundant
+from .minimization import compact, minimal_cover, redundancy_report, remove_duplicates
+
+__all__ = [
+    "ConsistencyResult",
+    "check_consistency",
+    "assert_consistent",
+    "pairwise_conflicts",
+    "implies",
+    "is_redundant",
+    "equivalent",
+    "minimal_cover",
+    "remove_duplicates",
+    "redundancy_report",
+    "compact",
+]

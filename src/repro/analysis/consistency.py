@@ -1,0 +1,208 @@
+"""Consistency (satisfiability) analysis for sets of CFDs.
+
+Unlike traditional FDs, a set of CFDs may be *inconsistent*: no non-empty
+instance can satisfy all of them (the paper's example: users must be warned
+"whether the specified set of CFDs makes sense").
+
+A classical observation (Fan et al., TODS 2008) reduces satisfiability to the
+existence of a single witness tuple: a set ``Sigma`` of CFDs over relation
+``R`` is satisfiable iff there exists one tuple ``t`` (with a non-NULL value
+in every attribute) such that for every CFD ``(X -> A, tp)`` in ``Sigma``,
+whenever ``t[X]`` matches ``tp[X]``, ``t[A]`` matches ``tp[A]``.  Multi-tuple
+interaction never matters for satisfiability because duplicating a single
+satisfying tuple can never introduce a variable-CFD violation.
+
+The witness search below is a small constraint solver: each attribute ranges
+over the constants mentioned for it in ``Sigma`` plus one fresh value
+(standing for "any other value"), or over an explicitly supplied finite
+domain.  The search is exponential in the worst case — the problem is
+NP-complete with finite domains — but constraint ordering and propagation
+keep it fast for realistic constraint sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.cfd import CFD, normalize_all
+from ..errors import InconsistentCfdsError
+
+#: Marker object standing for "some value different from every mentioned constant".
+FRESH = "__fresh__"
+
+
+@dataclass
+class ConsistencyResult:
+    """Outcome of a consistency check."""
+
+    consistent: bool
+    witness: Optional[Dict[str, Any]] = None
+    conflict: Optional[List[str]] = None
+    checked_cfds: int = 0
+
+    def __bool__(self) -> bool:
+        return self.consistent
+
+
+def _candidate_values(
+    cfds: Sequence[CFD],
+    attributes: Sequence[str],
+    finite_domains: Optional[Mapping[str, Iterable[Any]]] = None,
+) -> Dict[str, List[Any]]:
+    """Candidate witness values per attribute.
+
+    For attributes with an explicit finite domain the candidates are exactly
+    that domain; otherwise they are the constants mentioned in the CFDs plus
+    the ``FRESH`` marker (an unconstrained infinite-domain value).
+    """
+    constants: Dict[str, List[Any]] = {attr: [] for attr in attributes}
+    for cfd in cfds:
+        for pattern in cfd.patterns:
+            for attr, value in pattern.values:
+                if value.is_constant and value.constant not in constants[attr]:
+                    constants[attr].append(value.constant)
+    candidates: Dict[str, List[Any]] = {}
+    for attr in attributes:
+        if finite_domains and attr in finite_domains:
+            candidates[attr] = list(finite_domains[attr])
+        else:
+            candidates[attr] = constants[attr] + [FRESH]
+    return candidates
+
+
+def _matches(pattern_value, assigned: Any) -> Optional[bool]:
+    """Whether an assigned candidate matches a pattern value.
+
+    Returns ``None`` when the attribute is not assigned yet (unknown).
+    """
+    if assigned is None:
+        return None
+    if pattern_value.is_wildcard:
+        return True
+    if assigned == FRESH:
+        return False
+    return pattern_value.matches(assigned)
+
+
+def check_consistency(
+    cfds: Sequence[CFD],
+    finite_domains: Optional[Mapping[str, Iterable[Any]]] = None,
+) -> ConsistencyResult:
+    """Check whether ``cfds`` admit a non-empty satisfying instance.
+
+    Returns a :class:`ConsistencyResult` carrying a witness tuple when the
+    set is consistent; when it is not, ``conflict`` names a small set of CFD
+    identifiers that cannot be satisfied together.
+    """
+    normalized = normalize_all(cfds)
+    if not normalized:
+        return ConsistencyResult(consistent=True, witness={}, checked_cfds=0)
+    attributes = sorted({attr for cfd in normalized for attr in cfd.attributes})
+    candidates = _candidate_values(normalized, attributes, finite_domains)
+
+    # Order attributes so the most constrained ones are assigned first.
+    constraint_count = {attr: 0 for attr in attributes}
+    for cfd in normalized:
+        for attr in cfd.attributes:
+            constraint_count[attr] += 1
+    ordered_attributes = sorted(
+        attributes, key=lambda attr: (-constraint_count[attr], attr)
+    )
+
+    def violates(assignment: Dict[str, Any]) -> Optional[CFD]:
+        """Return a CFD that is definitely violated by the partial assignment."""
+        for cfd in normalized:
+            pattern = cfd.patterns[0]
+            rhs_attr = cfd.rhs[0]
+            lhs_status = [
+                _matches(pattern.value(attr), assignment.get(attr)) for attr in cfd.lhs
+            ]
+            if any(status is False for status in lhs_status):
+                continue
+            if any(status is None for status in lhs_status):
+                continue
+            # LHS definitely matches: the RHS pattern must match too.
+            rhs_status = _matches(pattern.value(rhs_attr), assignment.get(rhs_attr))
+            if rhs_status is False:
+                return cfd
+        return None
+
+    assignment: Dict[str, Any] = {attr: None for attr in attributes}
+
+    def search(index: int) -> bool:
+        if index == len(ordered_attributes):
+            return violates(assignment) is None
+        attr = ordered_attributes[index]
+        for value in candidates[attr]:
+            assignment[attr] = value
+            if violates(assignment) is None and search(index + 1):
+                return True
+        assignment[attr] = None
+        return False
+
+    if search(0):
+        witness = {
+            attr: (f"<any value not in {{{', '.join(map(str, candidates[attr][:-1]))}}}>"
+                   if value == FRESH
+                   else value)
+            for attr, value in assignment.items()
+        }
+        return ConsistencyResult(
+            consistent=True, witness=witness, checked_cfds=len(normalized)
+        )
+
+    conflict = _minimal_conflict(normalized, finite_domains)
+    return ConsistencyResult(
+        consistent=False,
+        conflict=[cfd.identifier for cfd in conflict],
+        checked_cfds=len(normalized),
+    )
+
+
+def _minimal_conflict(
+    cfds: List[CFD], finite_domains: Optional[Mapping[str, Iterable[Any]]]
+) -> List[CFD]:
+    """Shrink an inconsistent set to a small conflicting core (greedy)."""
+    core = list(cfds)
+    changed = True
+    while changed:
+        changed = False
+        for cfd in list(core):
+            reduced = [c for c in core if c is not cfd]
+            if reduced and not check_consistency(reduced, finite_domains).consistent:
+                core = reduced
+                changed = True
+                break
+    return core
+
+
+def assert_consistent(
+    cfds: Sequence[CFD],
+    finite_domains: Optional[Mapping[str, Iterable[Any]]] = None,
+) -> ConsistencyResult:
+    """Like :func:`check_consistency` but raises on inconsistency."""
+    result = check_consistency(cfds, finite_domains)
+    if not result.consistent:
+        names = ", ".join(result.conflict or [])
+        raise InconsistentCfdsError(f"the CFD set is inconsistent; conflicting core: {names}")
+    return result
+
+
+def pairwise_conflicts(
+    cfds: Sequence[CFD],
+    finite_domains: Optional[Mapping[str, Iterable[Any]]] = None,
+) -> List[Tuple[str, str]]:
+    """All pairs of CFDs that are inconsistent *with each other*.
+
+    This is the summary the constraint engine shows users when a newly added
+    CFD clashes with existing ones.
+    """
+    conflicts: List[Tuple[str, str]] = []
+    indexed = list(cfds)
+    for i in range(len(indexed)):
+        for j in range(i + 1, len(indexed)):
+            pair = [indexed[i], indexed[j]]
+            if not check_consistency(pair, finite_domains).consistent:
+                conflicts.append((indexed[i].identifier, indexed[j].identifier))
+    return conflicts

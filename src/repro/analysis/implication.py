@@ -1,0 +1,178 @@
+"""Implication analysis for CFDs.
+
+``Sigma`` implies a CFD ``phi`` (written ``Sigma |= phi``) when every
+instance that satisfies ``Sigma`` also satisfies ``phi``.  The constraint
+engine uses implication to spot redundant user-specified constraints and to
+compute minimal covers (see :mod:`repro.analysis.minimization`).
+
+The implementation is a bounded counterexample search.  A violation of a
+normal-form CFD involves at most two tuples, so ``Sigma |= phi`` fails iff
+there is an instance of at most two tuples that satisfies ``Sigma`` and
+violates ``phi``.  Moreover any such counterexample can be renamed so that
+every attribute value is either a constant mentioned in ``Sigma ∪ {phi}`` or
+one of two fresh symbols (two tuples can exhibit at most two distinct
+"other" values per attribute), so the search space is finite.  The search is
+exponential in the number of attributes in the worst case — implication for
+CFDs is coNP-complete — but the violation structure of ``phi`` pins down the
+values of the embedded FD's attributes, which keeps realistic inputs fast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.cfd import CFD, normalize_all
+from ..core.pattern import PatternValue
+
+#: Fresh symbols: values guaranteed to differ from every mentioned constant.
+FRESH_A = "__fresh_a__"
+FRESH_B = "__fresh_b__"
+
+
+def _attribute_candidates(
+    cfds: Sequence[CFD], phi: CFD, attributes: Sequence[str]
+) -> Dict[str, List[Any]]:
+    candidates: Dict[str, List[Any]] = {attr: [] for attr in attributes}
+    for cfd in list(cfds) + [phi]:
+        for pattern in cfd.patterns:
+            for attr, value in pattern.values:
+                if attr in candidates and value.is_constant:
+                    if value.constant not in candidates[attr]:
+                        candidates[attr].append(value.constant)
+    for attr in attributes:
+        candidates[attr] = candidates[attr] + [FRESH_A, FRESH_B]
+    return candidates
+
+
+def _tuple_satisfies(sigma: Sequence[CFD], rows: Sequence[Dict[str, Any]]) -> bool:
+    """Whether the tiny instance ``rows`` satisfies every CFD in ``sigma``."""
+    for cfd in sigma:
+        pattern = cfd.patterns[0]
+        rhs_attr = cfd.rhs[0]
+        rhs_value = pattern.value(rhs_attr)
+        for row in rows:
+            if not cfd.applies_to(row, pattern):
+                continue
+            if rhs_value.is_constant and not rhs_value.matches(row.get(rhs_attr)):
+                return False
+        if rhs_value.is_wildcard and len(rows) == 2:
+            if cfd.pair_violation(rows[0], rows[1], pattern):
+                return False
+    return True
+
+
+def _violates_phi(phi: CFD, rows: Sequence[Dict[str, Any]]) -> bool:
+    pattern = phi.patterns[0]
+    rhs_attr = phi.rhs[0]
+    rhs_value = pattern.value(rhs_attr)
+    if rhs_value.is_constant:
+        return any(phi.single_tuple_violation(row, pattern) for row in rows)
+    if len(rows) < 2:
+        return False
+    return phi.pair_violation(rows[0], rows[1], pattern)
+
+
+def implies(sigma: Sequence[CFD], phi: CFD) -> bool:
+    """Whether ``sigma`` implies ``phi`` (both normalised internally)."""
+    sigma_normal = normalize_all(sigma)
+    for phi_normal in phi.normalize():
+        if not _implies_normal(sigma_normal, phi_normal):
+            return False
+    return True
+
+
+def _implies_normal(sigma: List[CFD], phi: CFD) -> bool:
+    attributes = sorted(
+        {attr for cfd in sigma for attr in cfd.attributes} | set(phi.attributes)
+    )
+    candidates = _attribute_candidates(sigma, phi, attributes)
+    pattern = phi.patterns[0]
+    rhs_attr = phi.rhs[0]
+    rhs_value = pattern.value(rhs_attr)
+
+    if rhs_value.is_constant:
+        # Counterexample: one tuple matching phi's LHS whose RHS differs.
+        return not _exists_single_counterexample(
+            sigma, phi, attributes, candidates, pattern, rhs_attr, rhs_value
+        )
+    # Counterexample: two tuples agreeing on X, matching tp[X], differing on A.
+    return not _exists_pair_counterexample(
+        sigma, phi, attributes, candidates, pattern, rhs_attr
+    )
+
+
+def _lhs_value_choices(phi: CFD, pattern, candidates: Dict[str, List[Any]]):
+    """Choices of LHS values that make a tuple match ``pattern`` on phi's LHS."""
+    per_attr: List[List[Any]] = []
+    for attr in phi.lhs:
+        value = pattern.value(attr)
+        if value.is_constant:
+            per_attr.append([value.constant])
+        else:
+            per_attr.append(candidates[attr])
+    return itertools.product(*per_attr) if per_attr else iter([()])
+
+
+def _free_attribute_choices(attributes, fixed: Dict[str, Any], candidates):
+    free = [attr for attr in attributes if attr not in fixed]
+    return free, itertools.product(*(candidates[attr] for attr in free))
+
+
+def _exists_single_counterexample(
+    sigma, phi, attributes, candidates, pattern, rhs_attr, rhs_value
+) -> bool:
+    for lhs_values in _lhs_value_choices(phi, pattern, candidates):
+        base = dict(zip(phi.lhs, lhs_values))
+        for bad_rhs in candidates[rhs_attr]:
+            if rhs_value.matches(bad_rhs):
+                continue
+            fixed = dict(base)
+            fixed[rhs_attr] = bad_rhs
+            free, combos = _free_attribute_choices(attributes, fixed, candidates)
+            for combo in combos:
+                row = dict(fixed)
+                row.update(dict(zip(free, combo)))
+                if _violates_phi(phi, [row]) and _tuple_satisfies(sigma, [row]):
+                    return True
+    return False
+
+
+def _exists_pair_counterexample(
+    sigma, phi, attributes, candidates, pattern, rhs_attr
+) -> bool:
+    for lhs_values in _lhs_value_choices(phi, pattern, candidates):
+        base = dict(zip(phi.lhs, lhs_values))
+        # The two tuples agree on X and differ on A; try the two fresh symbols
+        # plus constant/fresh combinations for A.
+        rhs_options = candidates[rhs_attr]
+        for rhs_a, rhs_b in itertools.permutations(rhs_options, 2):
+            fixed_a = dict(base)
+            fixed_a[rhs_attr] = rhs_a
+            fixed_b = dict(base)
+            fixed_b[rhs_attr] = rhs_b
+            free, combos = _free_attribute_choices(attributes, fixed_a, candidates)
+            for combo_a in combos:
+                row_a = dict(fixed_a)
+                row_a.update(dict(zip(free, combo_a)))
+                _, combos_b = _free_attribute_choices(attributes, fixed_b, candidates)
+                for combo_b in combos_b:
+                    row_b = dict(fixed_b)
+                    row_b.update(dict(zip(free, combo_b)))
+                    rows = [row_a, row_b]
+                    if _violates_phi(phi, rows) and _tuple_satisfies(sigma, rows):
+                        return True
+    return False
+
+
+def is_redundant(sigma: Sequence[CFD], phi: CFD) -> bool:
+    """Whether ``phi`` is implied by the *other* CFDs in ``sigma``."""
+    others = [cfd for cfd in sigma if cfd is not phi and cfd.identifier != phi.identifier]
+    return implies(others, phi)
+
+
+def equivalent(sigma_a: Sequence[CFD], sigma_b: Sequence[CFD]) -> bool:
+    """Whether two CFD sets imply each other."""
+    return all(implies(sigma_a, phi) for phi in sigma_b) and all(
+        implies(sigma_b, phi) for phi in sigma_a
+    )

@@ -1,0 +1,80 @@
+"""Minimal covers of CFD sets.
+
+The constraint engine keeps the user-specified constraints tidy: duplicate or
+implied CFDs add detection and repair work without adding semantics.  A
+*minimal cover* of ``Sigma`` is an equivalent subset from which no CFD can be
+removed without losing equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..core.cfd import CFD
+from ..core.tableau import merge_cfds
+from .implication import implies
+
+
+def remove_duplicates(cfds: Sequence[CFD]) -> List[CFD]:
+    """Remove CFDs that are exact duplicates (same FD and pattern tableau)."""
+    unique: List[CFD] = []
+    seen = set()
+    for cfd in cfds:
+        key = (
+            cfd.relation,
+            cfd.lhs,
+            cfd.rhs,
+            tuple(tuple(sorted(pattern.encode().items())) for pattern in cfd.patterns),
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(cfd)
+    return unique
+
+
+def minimal_cover(cfds: Sequence[CFD]) -> List[CFD]:
+    """Compute a minimal cover by greedily dropping implied CFDs.
+
+    The result depends on iteration order (minimal covers are not unique);
+    CFDs earlier in the input are preferred.  The returned set is equivalent
+    to the input and no member is implied by the rest.
+    """
+    working = remove_duplicates(list(cfds))
+    changed = True
+    while changed:
+        changed = False
+        for index, cfd in enumerate(working):
+            others = working[:index] + working[index + 1 :]
+            if others and implies(others, cfd):
+                working = others
+                changed = True
+                break
+    return working
+
+
+def redundancy_report(cfds: Sequence[CFD]) -> List[dict]:
+    """Per-CFD report: is it a duplicate, is it implied by the others?
+
+    The data explorer shows this to the user after constraint entry.
+    """
+    unique = remove_duplicates(list(cfds))
+    unique_ids = {id(cfd) for cfd in unique}
+    report = []
+    for cfd in cfds:
+        entry = {
+            "cfd": cfd.identifier,
+            "duplicate": id(cfd) not in unique_ids,
+            "implied_by_rest": False,
+        }
+        if not entry["duplicate"]:
+            others = [other for other in unique if other is not cfd]
+            if others:
+                entry["implied_by_rest"] = implies(others, cfd)
+        report.append(entry)
+    return report
+
+
+def compact(cfds: Sequence[CFD]) -> List[CFD]:
+    """Merge per-FD tableaux then drop implied CFDs: the engine's storage form."""
+    return minimal_cover(merge_cfds(list(cfds)))

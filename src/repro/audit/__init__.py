@@ -1,0 +1,34 @@
+"""The data auditor: quality metrics, quality maps, and summary reports."""
+
+from .metrics import (
+    AttributeClassification,
+    Cleanliness,
+    TupleClassification,
+    classify_cells,
+    classify_tuples,
+    violation_statistics,
+)
+from .quality_map import (
+    DEFAULT_SHADES,
+    QualityMap,
+    build_quality_map,
+    linear_boundaries,
+    quantile_boundaries,
+)
+from .report import DataAuditor, DataQualityReport
+
+__all__ = [
+    "Cleanliness",
+    "TupleClassification",
+    "AttributeClassification",
+    "classify_tuples",
+    "classify_cells",
+    "violation_statistics",
+    "QualityMap",
+    "build_quality_map",
+    "linear_boundaries",
+    "quantile_boundaries",
+    "DEFAULT_SHADES",
+    "DataAuditor",
+    "DataQualityReport",
+]

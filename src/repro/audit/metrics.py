@@ -1,0 +1,250 @@
+"""Data quality metrics: the auditor's clean/dirty classification.
+
+The paper's data auditor categorises each tuple ``t`` as
+
+* **verified clean** — ``t`` violates no CFD *and* there exists a CFD with a
+  constant in its RHS that applies to ``t`` (so at least one constraint
+  actively vouches for its values);
+* **probably clean** — ``t`` violates no CFD;
+* **arguably clean** — ``t`` is probably clean *or* ``t`` is only involved in
+  multi-tuple violations in which the bulk of the jointly violating tuples
+  agree with ``t`` (substantial evidence that ``t`` itself is correct);
+
+and everything else is **dirty**.  Note verified ⊆ probably ⊆ arguably.  A
+similar categorisation exists at the attribute-value (cell) level, which the
+bar chart of the paper's Fig. 4 displays per attribute.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.cfd import CFD
+from ..detection.violations import Violation, ViolationReport
+from ..engine.relation import Relation
+
+
+class Cleanliness(enum.Enum):
+    """Quality category of a tuple or cell, from strongest to weakest."""
+
+    VERIFIED = "verified clean"
+    PROBABLY = "probably clean"
+    ARGUABLY = "arguably clean"
+    DIRTY = "dirty"
+
+
+#: Ordering used when aggregating (stronger categories imply weaker ones).
+_ORDER = {
+    Cleanliness.VERIFIED: 0,
+    Cleanliness.PROBABLY: 1,
+    Cleanliness.ARGUABLY: 2,
+    Cleanliness.DIRTY: 3,
+}
+
+
+@dataclass
+class TupleClassification:
+    """Classification of every tuple of a relation."""
+
+    categories: Dict[int, Cleanliness] = field(default_factory=dict)
+
+    def counts(self) -> Dict[Cleanliness, int]:
+        """Number of tuples per category."""
+        totals: Dict[Cleanliness, int] = {category: 0 for category in Cleanliness}
+        for category in self.categories.values():
+            totals[category] += 1
+        return totals
+
+    def percentages(self) -> Dict[Cleanliness, float]:
+        """Percentage of tuples per category (0 when the relation is empty)."""
+        total = len(self.categories)
+        if total == 0:
+            return {category: 0.0 for category in Cleanliness}
+        return {
+            category: 100.0 * count / total for category, count in self.counts().items()
+        }
+
+    def cumulative_percentages(self) -> Dict[Cleanliness, float]:
+        """Cumulative view: verified ⊆ probably ⊆ arguably (matches the paper's bars)."""
+        raw = self.counts()
+        total = len(self.categories) or 1
+        verified = raw[Cleanliness.VERIFIED]
+        probably = verified + raw[Cleanliness.PROBABLY]
+        arguably = probably + raw[Cleanliness.ARGUABLY]
+        return {
+            Cleanliness.VERIFIED: 100.0 * verified / total,
+            Cleanliness.PROBABLY: 100.0 * probably / total,
+            Cleanliness.ARGUABLY: 100.0 * arguably / total,
+            Cleanliness.DIRTY: 100.0 * raw[Cleanliness.DIRTY] / total,
+        }
+
+    def of(self, tid: int) -> Cleanliness:
+        """Category of one tuple."""
+        return self.categories[tid]
+
+
+@dataclass
+class AttributeClassification:
+    """Per-attribute cell-level classification."""
+
+    #: attribute -> category -> number of cells
+    counts: Dict[str, Dict[Cleanliness, int]] = field(default_factory=dict)
+
+    def percentages(self) -> Dict[str, Dict[Cleanliness, float]]:
+        """Per-attribute percentages (the bar chart of Fig. 4)."""
+        result: Dict[str, Dict[Cleanliness, float]] = {}
+        for attribute, per_category in self.counts.items():
+            total = sum(per_category.values()) or 1
+            result[attribute] = {
+                category: 100.0 * count / total
+                for category, count in per_category.items()
+            }
+        return result
+
+    def dirtiest_attributes(self, top: int = 3) -> List[Tuple[str, int]]:
+        """Attributes ranked by number of dirty cells."""
+        ranked = sorted(
+            (
+                (attribute, per_category.get(Cleanliness.DIRTY, 0))
+                for attribute, per_category in self.counts.items()
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:top]
+
+
+def _applicable_constant_rhs(cfds: Sequence[CFD]) -> List[Tuple[CFD, CFD]]:
+    """Pairs of (parent CFD, normalised sub-CFD) having a constant RHS pattern."""
+    pairs: List[Tuple[CFD, CFD]] = []
+    for cfd in cfds:
+        for sub in cfd.normalize():
+            rhs_attr = sub.rhs[0]
+            if sub.patterns[0].value(rhs_attr).is_constant:
+                pairs.append((cfd, sub))
+    return pairs
+
+
+def classify_tuples(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    report: ViolationReport,
+    majority: float = 0.5,
+) -> TupleClassification:
+    """Classify every tuple of ``relation`` per the paper's three categories.
+
+    ``majority`` is the fraction of jointly violating tuples that must agree
+    with ``t`` for it to count as "arguably clean" (strictly greater than).
+    """
+    dirty_map: Dict[int, List[Violation]] = defaultdict(list)
+    for violation in report.violations:
+        for tid in violation.tids:
+            dirty_map[tid].append(violation)
+
+    constant_pairs = _applicable_constant_rhs(cfds)
+    classification = TupleClassification()
+    for tid, row in relation.rows():
+        involved = dirty_map.get(tid, [])
+        if not involved:
+            verified = any(
+                sub.applies_to(row, sub.patterns[0]) for _parent, sub in constant_pairs
+            )
+            classification.categories[tid] = (
+                Cleanliness.VERIFIED if verified else Cleanliness.PROBABLY
+            )
+            continue
+        if all(violation.is_multi for violation in involved) and all(
+            _majority_agrees(relation, tid, violation, majority)
+            for violation in involved
+        ):
+            classification.categories[tid] = Cleanliness.ARGUABLY
+        else:
+            classification.categories[tid] = Cleanliness.DIRTY
+    return classification
+
+
+def _majority_agrees(
+    relation: Relation, tid: int, violation: Violation, majority: float
+) -> bool:
+    """Whether the bulk of the violation's tuples agree with ``tid`` on the RHS value."""
+    attribute = violation.rhs_attribute
+    own_value = relation.value(tid, attribute)
+    others = [other for other in violation.tids if other != tid and other in relation]
+    if not others:
+        return False
+    agreeing = sum(
+        1 for other in others if relation.value(other, attribute) == own_value
+    )
+    return agreeing / len(others) > majority
+
+
+def classify_cells(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    report: ViolationReport,
+    majority: float = 0.5,
+) -> AttributeClassification:
+    """Cell-level classification aggregated per attribute.
+
+    A cell ``(t, A)`` is implicated in a violation when ``A`` is the RHS
+    attribute of a violation involving ``t``.  Implicated cells are dirty
+    unless every implicating violation is a multi-tuple violation whose bulk
+    agrees with ``t`` (arguably clean).  Non-implicated cells are verified
+    clean when some constant-RHS CFD on ``A`` applies to ``t``, otherwise
+    probably clean.
+    """
+    implicated: Dict[Tuple[int, str], List[Violation]] = defaultdict(list)
+    for violation in report.violations:
+        for tid in violation.tids:
+            implicated[(tid, violation.rhs_attribute)].append(violation)
+
+    constant_pairs = _applicable_constant_rhs(cfds)
+    per_attribute_constant: Dict[str, List[CFD]] = defaultdict(list)
+    for _parent, sub in constant_pairs:
+        per_attribute_constant[sub.rhs[0]].append(sub)
+
+    counts: Dict[str, Dict[Cleanliness, int]] = {
+        attribute: {category: 0 for category in Cleanliness}
+        for attribute in relation.attribute_names
+    }
+    for tid, row in relation.rows():
+        for attribute in relation.attribute_names:
+            cell_violations = implicated.get((tid, attribute), [])
+            if cell_violations:
+                if all(v.is_multi for v in cell_violations) and all(
+                    _majority_agrees(relation, tid, v, majority) for v in cell_violations
+                ):
+                    counts[attribute][Cleanliness.ARGUABLY] += 1
+                else:
+                    counts[attribute][Cleanliness.DIRTY] += 1
+                continue
+            verified = any(
+                sub.applies_to(row, sub.patterns[0])
+                for sub in per_attribute_constant.get(attribute, [])
+            )
+            category = Cleanliness.VERIFIED if verified else Cleanliness.PROBABLY
+            counts[attribute][category] += 1
+    return AttributeClassification(counts=counts)
+
+
+def violation_statistics(report: ViolationReport) -> Dict[str, float]:
+    """Aggregate statistics of ``vio(t)``: max, min, avg, and multi-tuple group sizes."""
+    vio = report.vio()
+    values = list(vio.values())
+    group_sizes = [len(v.tids) for v in report.multi_violations()]
+    def _avg(data: List[int]) -> float:
+        return sum(data) / len(data) if data else 0.0
+
+    return {
+        "tuples_with_violations": float(len(values)),
+        "max_vio": float(max(values)) if values else 0.0,
+        "min_vio": float(min(values)) if values else 0.0,
+        "avg_vio": _avg(values),
+        "total_violations": float(report.total_violations()),
+        "single_violations": float(len(report.single_violations())),
+        "multi_violations": float(len(report.multi_violations())),
+        "max_group_size": float(max(group_sizes)) if group_sizes else 0.0,
+        "avg_group_size": _avg(group_sizes),
+    }

@@ -1,0 +1,211 @@
+"""Textual syntax for specifying CFDs.
+
+The data explorer of the paper lets users build CFDs by drag-and-drop; the
+library equivalent is a compact textual syntax::
+
+    customer: [CC='44'] -> [CNT='UK']
+    customer: [CNT='UK', ZIP=_] -> [STR=_]
+    [CNT, ZIP] -> [CITY]                      # plain FD (wildcards implied)
+
+Rules:
+
+* the leading ``relation:`` part is optional if a default relation is given;
+* an attribute without ``=`` (or with ``=_``) is the unnamed variable ``_``;
+* constants are single-quoted strings, double-quoted strings, or bare
+  numbers / identifiers (bare tokens are kept as strings unless they parse
+  as numbers);
+* several pattern tuples can be given for the same embedded FD by separating
+  bracket groups with ``;`` on the right of the colon, e.g.
+  ``customer: [CC='44'] -> [CNT='UK'] ; [CC='01'] -> [CNT='US']``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import CfdParseError
+from .cfd import CFD
+from .pattern import PatternTuple, PatternValue, WILDCARD_TOKEN
+
+_ITEM_RE = re.compile(
+    r"""
+    \s*
+    (?P<attr>[A-Za-z_][A-Za-z0-9_]*)
+    \s*
+    (?:=\s*(?P<value>'(?:[^']|'')*'|"[^"]*"|[^,\]]+?))?
+    \s*
+    (?:,|$)
+    """,
+    re.VERBOSE,
+)
+
+
+def _parse_value(raw: Optional[str]) -> PatternValue:
+    if raw is None:
+        return PatternValue.wildcard()
+    text = raw.strip()
+    if text == WILDCARD_TOKEN or text == "":
+        return PatternValue.wildcard()
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return PatternValue.const(text[1:-1].replace("''", "'"))
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return PatternValue.const(text[1:-1])
+    # bare token: try numeric, otherwise keep the string
+    try:
+        if re.fullmatch(r"[+-]?\d+", text):
+            return PatternValue.const(int(text))
+        if re.fullmatch(r"[+-]?\d*\.\d+([eE][+-]?\d+)?", text):
+            return PatternValue.const(float(text))
+    except ValueError:  # pragma: no cover - regex guards this
+        pass
+    return PatternValue.const(text)
+
+
+def _parse_bracket_group(text: str, what: str) -> List[Tuple[str, PatternValue]]:
+    text = text.strip()
+    if not (text.startswith("[") and text.endswith("]")):
+        raise CfdParseError(f"{what} must be enclosed in brackets: {text!r}")
+    inner = text[1:-1].strip()
+    if not inner:
+        return []
+    items: List[Tuple[str, PatternValue]] = []
+    position = 0
+    while position < len(inner):
+        match = _ITEM_RE.match(inner, position)
+        if not match or match.end() == position:
+            raise CfdParseError(f"cannot parse {what} item near {inner[position:]!r}")
+        attr = match.group("attr")
+        value = _parse_value(match.group("value"))
+        items.append((attr, value))
+        position = match.end()
+    return items
+
+
+def _split_top_level(text: str, separator: str) -> List[str]:
+    """Split on ``separator`` while ignoring occurrences inside brackets/quotes."""
+    parts: List[str] = []
+    depth = 0
+    quote: Optional[str] = None
+    current: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+            i += 1
+            continue
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if depth == 0 and text.startswith(separator, i):
+            parts.append("".join(current))
+            current = []
+            i += len(separator)
+            continue
+        current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return parts
+
+
+def parse_cfd(text: str, default_relation: Optional[str] = None, name: Optional[str] = None) -> CFD:
+    """Parse one CFD from its textual form."""
+    text = text.strip()
+    if not text:
+        raise CfdParseError("empty CFD specification")
+    relation = default_relation
+    body = text
+    # Optional "relation:" prefix — only if the colon comes before the first '['.
+    colon = text.find(":")
+    bracket = text.find("[")
+    if colon != -1 and (bracket == -1 or colon < bracket):
+        relation = text[:colon].strip()
+        body = text[colon + 1 :].strip()
+    if not relation:
+        raise CfdParseError(
+            "no relation name: prefix the CFD with 'relation:' or pass default_relation"
+        )
+
+    groups = [group.strip() for group in _split_top_level(body, ";") if group.strip()]
+    if not groups:
+        raise CfdParseError(f"no pattern groups found in {text!r}")
+
+    lhs_attrs: Optional[Tuple[str, ...]] = None
+    rhs_attrs: Optional[Tuple[str, ...]] = None
+    patterns = []
+    for group in groups:
+        arrow_parts = _split_top_level(group, "->")
+        if len(arrow_parts) != 2:
+            raise CfdParseError(f"expected exactly one '->' in {group!r}")
+        lhs_items = _parse_bracket_group(arrow_parts[0], "LHS")
+        rhs_items = _parse_bracket_group(arrow_parts[1], "RHS")
+        if not rhs_items:
+            raise CfdParseError(f"RHS of {group!r} is empty")
+        group_lhs = tuple(attr for attr, _ in lhs_items)
+        group_rhs = tuple(attr for attr, _ in rhs_items)
+        if lhs_attrs is None:
+            lhs_attrs, rhs_attrs = group_lhs, group_rhs
+        elif (group_lhs, group_rhs) != (lhs_attrs, rhs_attrs):
+            raise CfdParseError(
+                "all pattern groups of one CFD must share the same embedded FD; "
+                f"got [{','.join(group_lhs)}]->[{','.join(group_rhs)}] after "
+                f"[{','.join(lhs_attrs)}]->[{','.join(rhs_attrs)}]"
+            )
+        mapping: Dict[str, PatternValue] = {}
+        mapping.update(dict(lhs_items))
+        mapping.update(dict(rhs_items))
+        patterns.append(PatternTuple.of(mapping))
+
+    assert lhs_attrs is not None and rhs_attrs is not None
+    return CFD(
+        relation=relation,
+        lhs=lhs_attrs,
+        rhs=rhs_attrs,
+        patterns=tuple(patterns),
+        name=name,
+    )
+
+
+def parse_cfds(
+    text: str, default_relation: Optional[str] = None, name_prefix: str = "cfd"
+) -> List[CFD]:
+    """Parse a multi-line specification: one CFD per non-empty, non-comment line."""
+    cfds: List[CFD] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name = f"{name_prefix}{len(cfds) + 1}"
+        try:
+            cfds.append(parse_cfd(line, default_relation=default_relation, name=name))
+        except CfdParseError as exc:
+            raise CfdParseError(f"line {line_number}: {exc}") from exc
+    return cfds
+
+
+def format_cfd(cfd: CFD) -> str:
+    """Render a CFD back to the textual syntax accepted by :func:`parse_cfd`."""
+    groups = []
+    for pattern in cfd.patterns:
+        def render(attr: str) -> str:
+            value = pattern.value(attr)
+            if value.is_wildcard:
+                return f"{attr}=_"
+            if isinstance(value.constant, str):
+                escaped = value.constant.replace("'", "''")
+                return f"{attr}='{escaped}'"
+            return f"{attr}={value.constant}"
+
+        lhs = ", ".join(render(attr) for attr in cfd.lhs)
+        rhs = ", ".join(render(attr) for attr in cfd.rhs)
+        groups.append(f"[{lhs}] -> [{rhs}]")
+    return f"{cfd.relation}: " + " ; ".join(groups)

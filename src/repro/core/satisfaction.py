@@ -1,0 +1,135 @@
+"""Direct (non-SQL) satisfaction checking for CFDs.
+
+These routines implement the CFD semantics by explicit iteration over the
+relation.  They serve two purposes in the reproduction:
+
+* an *oracle* against which the SQL-based detector is tested (property-based
+  tests compare the two on random instances);
+* the native-Python side of the SQL-vs-native ablation benchmark (SQL-ABL in
+  DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..engine.relation import Relation
+from .cfd import CFD
+from .pattern import PatternTuple
+
+
+def matching_tids(relation: Relation, cfd: CFD, pattern: PatternTuple) -> List[int]:
+    """Tuple ids whose rows the CFD (with ``pattern``) applies to."""
+    return [tid for tid, row in relation.rows() if cfd.applies_to(row, pattern)]
+
+
+def single_tuple_violations(
+    relation: Relation, cfd: CFD
+) -> List[Tuple[int, int]]:
+    """Return ``(tid, pattern_index)`` pairs of single-tuple violations."""
+    violations: List[Tuple[int, int]] = []
+    for pattern_index, pattern in enumerate(cfd.patterns):
+        for tid, row in relation.rows():
+            if cfd.single_tuple_violation(row, pattern):
+                violations.append((tid, pattern_index))
+    return violations
+
+
+def multi_tuple_violation_groups(
+    relation: Relation, cfd: CFD
+) -> List[Tuple[int, Tuple[Any, ...], List[int]]]:
+    """Return multi-tuple violation groups.
+
+    Each element is ``(pattern_index, lhs_values, tids)`` where ``tids`` are
+    the tuples that share the LHS values, match the pattern, and disagree on
+    some wildcard RHS attribute.  Only groups with at least two tuples and a
+    genuine disagreement are reported.
+    """
+    groups: List[Tuple[int, Tuple[Any, ...], List[int]]] = []
+    for pattern_index, pattern in enumerate(cfd.patterns):
+        rhs_pattern = cfd.rhs_pattern(pattern)
+        wildcard_rhs = [attr for attr, value in rhs_pattern.values if value.is_wildcard]
+        if not wildcard_rhs or not cfd.lhs:
+            continue
+        by_lhs: Dict[Tuple[Any, ...], List[int]] = defaultdict(list)
+        for tid, row in relation.rows():
+            if not cfd.applies_to(row, pattern):
+                continue
+            if all(row.get(attr) is None for attr in wildcard_rhs):
+                # A tuple with NULL in every wildcard RHS attribute can neither
+                # support nor contradict the FD part of the CFD.
+                continue
+            key = tuple(row.get(attr) for attr in cfd.lhs)
+            by_lhs[key].append(tid)
+        for key, tids in by_lhs.items():
+            if len(tids) < 2:
+                continue
+            disagreement = False
+            for attr in wildcard_rhs:
+                values = {
+                    _normalise(relation.value(tid, attr))
+                    for tid in tids
+                    if relation.value(tid, attr) is not None
+                }
+                if len(values) > 1:
+                    disagreement = True
+                    break
+            if disagreement:
+                groups.append((pattern_index, key, sorted(tids)))
+    return groups
+
+
+def satisfies(relation: Relation, cfd: CFD) -> bool:
+    """Whether ``relation`` satisfies ``cfd`` (no violations of either kind)."""
+    if single_tuple_violations(relation, cfd):
+        return False
+    if multi_tuple_violation_groups(relation, cfd):
+        return False
+    return True
+
+
+def satisfies_all(relation: Relation, cfds: Iterable[CFD]) -> bool:
+    """Whether ``relation`` satisfies every CFD in ``cfds``."""
+    return all(satisfies(relation, cfd) for cfd in cfds)
+
+
+def violating_tids(relation: Relation, cfds: Iterable[CFD]) -> Set[int]:
+    """The set of tuple ids involved in any violation of any CFD."""
+    dirty: Set[int] = set()
+    for cfd in cfds:
+        for tid, _pattern_index in single_tuple_violations(relation, cfd):
+            dirty.add(tid)
+        for _pattern_index, _key, tids in multi_tuple_violation_groups(relation, cfd):
+            dirty.update(tids)
+    return dirty
+
+
+def violation_counts(relation: Relation, cfds: Iterable[CFD]) -> Dict[int, int]:
+    """Compute ``vio(t)`` for every tuple, per the paper's definition.
+
+    ``vio(t)`` starts at 0, is incremented by 1 for each CFD for which ``t``
+    is a single-tuple violation, and is incremented by the cardinality of the
+    set of tuples that jointly (with ``t``) violate a CFD, for each such CFD.
+    """
+    vio: Dict[int, int] = {tid: 0 for tid, _row in relation.rows()}
+    for cfd in cfds:
+        single = single_tuple_violations(relation, cfd)
+        single_tids = {tid for tid, _pattern in single}
+        for tid in single_tids:
+            vio[tid] += 1
+        counted: Set[int] = set()
+        for _pattern_index, _key, tids in multi_tuple_violation_groups(relation, cfd):
+            for tid in tids:
+                if tid in counted:
+                    continue
+                counted.add(tid)
+                # the tuples that jointly violate with t (excluding t itself)
+                vio[tid] += len(tids) - 1
+    return vio
+
+
+def _normalise(value: Any) -> Any:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

@@ -1,0 +1,32 @@
+"""Synthetic workloads with known CFDs and seeded error injection."""
+
+from .customer import (
+    customer_schema,
+    generate_customers,
+    paper_cfds,
+    paper_example_relation,
+    paper_example_rows,
+)
+from .hospital import generate_hospital, hospital_cfds, hospital_schema
+from .noise import ALL_KINDS, NULL, SWAP, TYPO, NoiseResult, inject_noise
+from .orders import generate_orders, orders_cfds, orders_schema
+
+__all__ = [
+    "customer_schema",
+    "generate_customers",
+    "paper_cfds",
+    "paper_example_relation",
+    "paper_example_rows",
+    "hospital_schema",
+    "generate_hospital",
+    "hospital_cfds",
+    "orders_schema",
+    "generate_orders",
+    "orders_cfds",
+    "NoiseResult",
+    "inject_noise",
+    "TYPO",
+    "SWAP",
+    "NULL",
+    "ALL_KINDS",
+]

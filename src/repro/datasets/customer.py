@@ -1,0 +1,151 @@
+"""The paper's running example: the ``customer`` relation and its CFDs.
+
+``customer(NAME, CNT, CITY, ZIP, STR, CC, AC)`` stores, for each customer,
+a name, an address (country, city, postal code, street) and the country and
+area codes of their phone number.  The generator below produces clean data
+in which the paper's constraints hold by construction:
+
+* ``phi1``: ``[CNT, ZIP] -> [CITY]`` — country + postal code determine the city;
+* ``phi2``: ``[CNT='UK', ZIP=_] -> [STR=_]`` — in the UK, the postal code
+  determines the street;
+* ``phi3``: ``[CC] -> [CNT]`` — the country code determines the country;
+* ``phi4``: ``[CC='44'] -> [CNT='UK']`` and ``[CC='01'] -> [CNT='US']`` —
+  instance-level bindings of country codes to country names.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cfd import CFD
+from ..core.parser import parse_cfd
+from ..engine.relation import Relation
+from ..engine.types import AttributeDef, DataType, RelationSchema
+
+#: Geography used by the generator: country -> (country code, list of cities).
+_GEOGRAPHY: Dict[str, Tuple[str, List[Tuple[str, str]]]] = {
+    "UK": ("44", [("EDI", "131"), ("LDN", "020"), ("GLA", "141"), ("MAN", "161")]),
+    "US": ("01", [("NYC", "212"), ("CHI", "312"), ("SFO", "415"), ("BOS", "617")]),
+    "NL": ("31", [("AMS", "020"), ("RTM", "010"), ("UTR", "030")]),
+    "FR": ("33", [("PAR", "01"), ("LYO", "04"), ("MRS", "04")]),
+}
+
+_STREET_WORDS = [
+    "Mayfield", "Crichton", "Mountain", "High", "Station", "Church", "Park",
+    "Victoria", "Queen", "King", "Mill", "North", "South", "West", "East",
+]
+_STREET_SUFFIXES = ["Rd", "St", "Ave", "Ln", "Way", "Pl"]
+_FIRST_NAMES = [
+    "Mike", "Rick", "Joe", "Mary", "Anna", "Bob", "Carol", "Dave", "Ella",
+    "Frank", "Grace", "Henry", "Iris", "Jack", "Kate", "Liam", "Nina",
+]
+_LAST_NAMES = [
+    "Smith", "Jones", "Brown", "Wilson", "Taylor", "Clark", "Lewis", "Young",
+    "Walker", "Hall", "Allen", "King", "Wright", "Scott", "Green", "Baker",
+]
+
+
+def customer_schema() -> RelationSchema:
+    """Schema of the paper's ``customer`` relation."""
+    return RelationSchema(
+        name="customer",
+        attributes=[
+            AttributeDef("NAME", DataType.STRING),
+            AttributeDef("CNT", DataType.STRING),
+            AttributeDef("CITY", DataType.STRING),
+            AttributeDef("ZIP", DataType.STRING),
+            AttributeDef("STR", DataType.STRING),
+            AttributeDef("CC", DataType.STRING),
+            AttributeDef("AC", DataType.STRING),
+        ],
+    )
+
+
+def paper_cfds() -> List[CFD]:
+    """The CFDs used throughout the paper's examples (phi1 … phi4)."""
+    return [
+        parse_cfd("customer: [CNT=_, ZIP=_] -> [CITY=_]", name="phi1"),
+        parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]", name="phi2"),
+        parse_cfd("customer: [CC=_] -> [CNT=_]", name="phi3"),
+        parse_cfd(
+            "customer: [CC='44'] -> [CNT='UK'] ; [CC='01'] -> [CNT='US']",
+            name="phi4",
+        ),
+    ]
+
+
+def paper_example_rows() -> List[Dict[str, str]]:
+    """A tiny hand-written instance mirroring the flavour of the paper's Figure 3.
+
+    It contains one single-tuple violation (a country code 44 paired with a
+    non-UK country) and one multi-tuple violation (two UK customers sharing a
+    postal code but reporting different streets).
+    """
+    return [
+        {"NAME": "Mike", "CNT": "UK", "CITY": "EDI", "ZIP": "EH4 1DT",
+         "STR": "Mayfield Rd", "CC": "44", "AC": "131"},
+        {"NAME": "Rick", "CNT": "UK", "CITY": "EDI", "ZIP": "EH4 1DT",
+         "STR": "Crichton St", "CC": "44", "AC": "131"},
+        {"NAME": "Joe", "CNT": "US", "CITY": "NYC", "ZIP": "01202",
+         "STR": "Mountain Ave", "CC": "01", "AC": "212"},
+        {"NAME": "Mary", "CNT": "US", "CITY": "NYC", "ZIP": "01202",
+         "STR": "Mountain Ave", "CC": "01", "AC": "212"},
+        {"NAME": "Anna", "CNT": "NL", "CITY": "AMS", "ZIP": "1012",
+         "STR": "Station Way", "CC": "44", "AC": "020"},
+        {"NAME": "Bob", "CNT": "UK", "CITY": "GLA", "ZIP": "G1 1AA",
+         "STR": "High St", "CC": "44", "AC": "141"},
+    ]
+
+
+def paper_example_relation() -> Relation:
+    """The hand-written example instance as a :class:`Relation`."""
+    return Relation.from_rows(customer_schema(), paper_example_rows())
+
+
+def generate_customers(size: int, seed: int = 0) -> Relation:
+    """Generate ``size`` clean customer tuples (the paper's CFDs hold).
+
+    Determinism: the same ``(size, seed)`` always produces the same relation.
+    Postal codes are generated per (country, city) so that ``[CNT, ZIP] ->
+    [CITY]`` and, within the UK, ``ZIP -> STR`` hold by construction; country
+    codes are taken from the geography table so ``CC -> CNT`` holds.
+    """
+    rng = random.Random(seed)
+    relation = Relation(customer_schema())
+    countries = list(_GEOGRAPHY)
+    # Pre-build a pool of (country, city, area code, zip, street) addresses so
+    # that repeated zips agree on city and street.
+    address_pool: List[Tuple[str, str, str, str, str]] = []
+    pool_size = max(size // 3, 8)
+    for index in range(pool_size):
+        country = countries[index % len(countries)]
+        code, cities = _GEOGRAPHY[country]
+        city, area_code = cities[rng.randrange(len(cities))]
+        zip_code = f"{city[:2]}{index:04d}"
+        street = (
+            f"{_STREET_WORDS[rng.randrange(len(_STREET_WORDS))]} "
+            f"{_STREET_SUFFIXES[rng.randrange(len(_STREET_SUFFIXES))]}"
+        )
+        address_pool.append((country, city, area_code, zip_code, street))
+    for _ in range(size):
+        country, city, area_code, zip_code, street = address_pool[
+            rng.randrange(len(address_pool))
+        ]
+        code, _cities = _GEOGRAPHY[country]
+        name = (
+            f"{_FIRST_NAMES[rng.randrange(len(_FIRST_NAMES))]} "
+            f"{_LAST_NAMES[rng.randrange(len(_LAST_NAMES))]}"
+        )
+        relation.insert(
+            {
+                "NAME": name,
+                "CNT": country,
+                "CITY": city,
+                "ZIP": zip_code,
+                "STR": street,
+                "CC": code,
+                "AC": area_code,
+            }
+        )
+    return relation

@@ -1,0 +1,119 @@
+"""A hospital-quality dataset in the style of the HOSP benchmark data.
+
+Public hospital quality data (provider id, hospital name, address, phone,
+measure codes) is the classic public workload for CFD-based cleaning papers.
+This generator produces a synthetic equivalent with the same dependency
+structure so the examples and benchmarks have a second, wider relation to
+exercise (more attributes, more CFDs, mixed constant/variable patterns).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..core.cfd import CFD
+from ..core.parser import parse_cfd
+from ..engine.relation import Relation
+from ..engine.types import AttributeDef, DataType, RelationSchema
+
+_STATES: Dict[str, List[Tuple[str, str]]] = {
+    # state -> [(city, zip prefix)]
+    "AL": [("BIRMINGHAM", "352"), ("DOTHAN", "363"), ("MOBILE", "366")],
+    "AK": [("ANCHORAGE", "995"), ("JUNEAU", "998")],
+    "AZ": [("PHOENIX", "850"), ("TUCSON", "857")],
+    "CA": [("LOS ANGELES", "900"), ("SAN DIEGO", "921"), ("FRESNO", "937")],
+}
+
+_MEASURES: List[Tuple[str, str, str]] = [
+    ("AMI-1", "Aspirin at arrival", "Heart Attack"),
+    ("AMI-2", "Aspirin at discharge", "Heart Attack"),
+    ("HF-1", "Discharge instructions", "Heart Failure"),
+    ("HF-2", "LVS function evaluation", "Heart Failure"),
+    ("PN-2", "Pneumococcal vaccination", "Pneumonia"),
+    ("PN-3B", "Blood culture before antibiotic", "Pneumonia"),
+    ("SCIP-1", "Prophylactic antibiotic within one hour", "Surgical Care"),
+]
+
+_HOSPITAL_WORDS = ["GENERAL", "MEMORIAL", "REGIONAL", "COMMUNITY", "BAPTIST", "MERCY"]
+
+
+def hospital_schema() -> RelationSchema:
+    """Schema of the synthetic hospital relation."""
+    return RelationSchema(
+        name="hospital",
+        attributes=[
+            AttributeDef("PROVIDER", DataType.STRING),
+            AttributeDef("HOSPITAL", DataType.STRING),
+            AttributeDef("CITY", DataType.STRING),
+            AttributeDef("STATE", DataType.STRING),
+            AttributeDef("ZIP", DataType.STRING),
+            AttributeDef("PHONE", DataType.STRING),
+            AttributeDef("CONDITION", DataType.STRING),
+            AttributeDef("MEASURE_CODE", DataType.STRING),
+            AttributeDef("MEASURE_NAME", DataType.STRING),
+        ],
+    )
+
+
+def hospital_cfds() -> List[CFD]:
+    """CFDs that hold on the clean synthetic hospital data."""
+    return [
+        parse_cfd("hospital: [ZIP=_] -> [STATE=_]", name="hosp1"),
+        parse_cfd("hospital: [ZIP=_] -> [CITY=_]", name="hosp2"),
+        parse_cfd("hospital: [PROVIDER=_] -> [HOSPITAL=_]", name="hosp3"),
+        parse_cfd("hospital: [PROVIDER=_] -> [PHONE=_]", name="hosp4"),
+        parse_cfd("hospital: [MEASURE_CODE=_] -> [MEASURE_NAME=_]", name="hosp5"),
+        parse_cfd("hospital: [MEASURE_CODE=_] -> [CONDITION=_]", name="hosp6"),
+        parse_cfd(
+            "hospital: [MEASURE_CODE='AMI-1'] -> [CONDITION='Heart Attack']",
+            name="hosp7",
+        ),
+        parse_cfd(
+            "hospital: [STATE='AK', CITY=_] -> [ZIP=_]",
+            name="hosp8",
+        ),
+    ]
+
+
+def generate_hospital(size: int, seed: int = 0, providers: int = 0) -> Relation:
+    """Generate ``size`` clean hospital measure records.
+
+    Each record pairs one provider (hospital) with one quality measure; a
+    provider appears in many records, so the provider-level FDs have plenty
+    of witnesses.  ``providers`` defaults to roughly ``size / 6``.
+    """
+    rng = random.Random(seed)
+    relation = Relation(hospital_schema())
+    provider_count = providers or max(size // 6, 4)
+    states = list(_STATES)
+    provider_pool = []
+    for index in range(provider_count):
+        state = states[index % len(states)]
+        city, zip_prefix = _STATES[state][rng.randrange(len(_STATES[state]))]
+        # One canonical ZIP per (state, city) so the city-level CFDs hold on
+        # clean data by construction.
+        zip_code = f"{zip_prefix}01"
+        provider_pool.append(
+            {
+                "PROVIDER": f"P{10000 + index}",
+                "HOSPITAL": f"{city.split()[0]} {_HOSPITAL_WORDS[rng.randrange(len(_HOSPITAL_WORDS))]} HOSPITAL",
+                "CITY": city,
+                "STATE": state,
+                "ZIP": zip_code,
+                "PHONE": f"{rng.randrange(200, 999)}{rng.randrange(1000000, 9999999)}",
+            }
+        )
+    for _ in range(size):
+        provider = provider_pool[rng.randrange(len(provider_pool))]
+        code, measure_name, condition = _MEASURES[rng.randrange(len(_MEASURES))]
+        row = dict(provider)
+        row.update(
+            {
+                "CONDITION": condition,
+                "MEASURE_CODE": code,
+                "MEASURE_NAME": measure_name,
+            }
+        )
+        relation.insert(row)
+    return relation

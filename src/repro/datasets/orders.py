@@ -1,0 +1,98 @@
+"""A synthetic order-processing relation (the data-warehousing motivation).
+
+The paper's introduction motivates data quality tooling with data
+warehousing projects; this dataset models the kind of order feed such a
+project consolidates: orders referencing customers, countries, currencies
+and tax codes, with dependencies spanning reference data (country ->
+currency) and per-entity consistency (customer id -> customer name).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..core.cfd import CFD
+from ..core.parser import parse_cfd
+from ..engine.relation import Relation
+from ..engine.types import AttributeDef, DataType, RelationSchema
+
+_COUNTRIES: Dict[str, Tuple[str, str, str]] = {
+    # country -> (currency, region, standard tax code)
+    "UK": ("GBP", "EMEA", "VAT20"),
+    "US": ("USD", "AMER", "SALES0"),
+    "DE": ("EUR", "EMEA", "VAT19"),
+    "FR": ("EUR", "EMEA", "VAT20"),
+    "JP": ("JPY", "APAC", "CT10"),
+}
+
+_PRODUCTS = ["WIDGET", "GADGET", "SPROCKET", "GIZMO", "DOODAD"]
+_CUSTOMER_NAMES = [
+    "Acme Ltd", "Globex Corp", "Initech", "Umbrella plc", "Soylent GmbH",
+    "Stark KK", "Wayne SARL", "Wonka SA", "Tyrell Inc", "Hooli LLC",
+]
+
+
+def orders_schema() -> RelationSchema:
+    """Schema of the synthetic orders relation."""
+    return RelationSchema(
+        name="orders",
+        attributes=[
+            AttributeDef("ORDER_ID", DataType.STRING),
+            AttributeDef("CUST_ID", DataType.STRING),
+            AttributeDef("CUST_NAME", DataType.STRING),
+            AttributeDef("COUNTRY", DataType.STRING),
+            AttributeDef("CURRENCY", DataType.STRING),
+            AttributeDef("REGION", DataType.STRING),
+            AttributeDef("TAX_CODE", DataType.STRING),
+            AttributeDef("PRODUCT", DataType.STRING),
+            AttributeDef("QUANTITY", DataType.INTEGER),
+        ],
+    )
+
+
+def orders_cfds() -> List[CFD]:
+    """CFDs the clean order feed satisfies."""
+    return [
+        parse_cfd("orders: [COUNTRY=_] -> [CURRENCY=_]", name="ord1"),
+        parse_cfd("orders: [COUNTRY=_] -> [REGION=_]", name="ord2"),
+        parse_cfd("orders: [CUST_ID=_] -> [CUST_NAME=_]", name="ord3"),
+        parse_cfd("orders: [CUST_ID=_] -> [COUNTRY=_]", name="ord4"),
+        parse_cfd("orders: [COUNTRY='UK'] -> [CURRENCY='GBP']", name="ord5"),
+        parse_cfd("orders: [COUNTRY='US'] -> [CURRENCY='USD']", name="ord6"),
+        parse_cfd("orders: [COUNTRY='UK', TAX_CODE=_] -> [REGION='EMEA']", name="ord7"),
+    ]
+
+
+def generate_orders(size: int, seed: int = 0, customers: int = 0) -> Relation:
+    """Generate ``size`` clean order rows over a pool of customers."""
+    rng = random.Random(seed)
+    relation = Relation(orders_schema())
+    customer_count = customers or max(size // 5, 4)
+    countries = list(_COUNTRIES)
+    customer_pool = []
+    for index in range(customer_count):
+        country = countries[index % len(countries)]
+        currency, region, tax_code = _COUNTRIES[country]
+        customer_pool.append(
+            {
+                "CUST_ID": f"C{1000 + index}",
+                "CUST_NAME": _CUSTOMER_NAMES[index % len(_CUSTOMER_NAMES)],
+                "COUNTRY": country,
+                "CURRENCY": currency,
+                "REGION": region,
+                "TAX_CODE": tax_code,
+            }
+        )
+    for order_index in range(size):
+        customer = customer_pool[rng.randrange(len(customer_pool))]
+        row = dict(customer)
+        row.update(
+            {
+                "ORDER_ID": f"O{100000 + order_index}",
+                "PRODUCT": _PRODUCTS[rng.randrange(len(_PRODUCTS))],
+                "QUANTITY": rng.randrange(1, 50),
+            }
+        )
+        relation.insert(row)
+    return relation

@@ -1,0 +1,255 @@
+"""The error detector: batch detection of CFD violations.
+
+The detector compiles each CFD into SQL (see
+:mod:`repro.detection.sqlgen`), materialises the pattern tableau as a
+relation, runs the generated queries through the database, and assembles a
+:class:`~repro.detection.violations.ViolationReport`.  A native (pure
+Python) detection path that bypasses SQL is kept both as a correctness
+oracle and for the SQL-vs-native ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.cfd import CFD
+from ..core.pattern import PatternTuple
+from ..core.satisfaction import (
+    multi_tuple_violation_groups,
+    single_tuple_violations,
+)
+from ..core.tableau import tableau_to_relation
+from ..engine.database import Database
+from ..engine.relation import Relation
+from ..errors import DetectionError
+from .sqlgen import DetectionSqlGenerator, tableau_relation_name
+from .violations import MULTI, SINGLE, Violation, ViolationReport
+
+
+def _sub_cfd(cfd: CFD, rhs_attribute: str) -> CFD:
+    """Restrict ``cfd`` to a single RHS attribute, keeping the full tableau."""
+    if cfd.rhs == (rhs_attribute,):
+        return cfd
+    attrs = cfd.lhs + (rhs_attribute,)
+    patterns = tuple(pattern.restrict(attrs) for pattern in cfd.patterns)
+    return CFD(
+        relation=cfd.relation,
+        lhs=cfd.lhs,
+        rhs=(rhs_attribute,),
+        patterns=patterns,
+        name=cfd.name,
+    )
+
+
+class ErrorDetector:
+    """Detects single-tuple and multi-tuple CFD violations in a relation."""
+
+    def __init__(self, database: Database, use_sql: bool = True):
+        self.database = database
+        self.use_sql = use_sql
+        #: SQL statements issued by the last ``detect`` call (for inspection).
+        self.last_sql: List[str] = []
+
+    # -- public API --------------------------------------------------------------
+
+    def detect(self, relation_name: str, cfds: Sequence[CFD]) -> ViolationReport:
+        """Run detection of every CFD in ``cfds`` over ``relation_name``."""
+        relation = self.database.relation(relation_name)
+        self.last_sql = []
+        for cfd in cfds:
+            if cfd.relation != relation_name:
+                raise DetectionError(
+                    f"CFD {cfd.identifier} targets relation {cfd.relation!r}, "
+                    f"not {relation_name!r}"
+                )
+            cfd.validate_against(relation.attribute_names)
+
+        violations: List[Violation] = []
+        for index, cfd in enumerate(cfds):
+            for rhs_attribute in cfd.rhs:
+                sub = _sub_cfd(cfd, rhs_attribute)
+                if self.use_sql:
+                    violations.extend(self._detect_sql(relation, cfd, sub, index))
+                else:
+                    violations.extend(self._detect_native(relation, cfd, sub))
+        return ViolationReport(
+            relation=relation_name,
+            violations=violations,
+            tuple_count=len(relation),
+            cfd_ids=tuple(cfd.identifier for cfd in cfds),
+        )
+
+    def detect_for_tuples(
+        self, relation_name: str, cfds: Sequence[CFD], tids: Iterable[int]
+    ) -> ViolationReport:
+        """Detect violations restricted to those involving any tuple in ``tids``.
+
+        Used by the explorer's "why is this tuple dirty" view and by the
+        cleansing-review workflow.
+        """
+        report = self.detect(relation_name, cfds)
+        wanted = set(tids)
+        filtered = [
+            violation
+            for violation in report.violations
+            if wanted & set(violation.tids)
+        ]
+        return ViolationReport(
+            relation=relation_name,
+            violations=filtered,
+            tuple_count=report.tuple_count,
+            cfd_ids=report.cfd_ids,
+        )
+
+    # -- SQL-based path ------------------------------------------------------------
+
+    def _detect_sql(
+        self, relation: Relation, parent: CFD, cfd: CFD, cfd_index: int
+    ) -> List[Violation]:
+        generator = DetectionSqlGenerator(relation.schema)
+        tableau_name = tableau_relation_name(cfd, cfd_index) + f"_{cfd.rhs[0]}"
+        tableau = tableau_to_relation(cfd, tableau_name)
+        self.database.add_relation(tableau, replace=True)
+        try:
+            queries = generator.generate(cfd, tableau_name)
+            violations: List[Violation] = []
+            violations.extend(
+                self._run_single_query(relation, parent, cfd, queries.single_sql)
+            )
+            violations.extend(
+                self._run_multi_query(relation, parent, cfd, queries.multi_sql)
+            )
+            return violations
+        finally:
+            self.database.drop_relation(tableau_name)
+
+    def _run_single_query(
+        self,
+        relation: Relation,
+        parent: CFD,
+        cfd: CFD,
+        sql: Optional[str],
+    ) -> List[Violation]:
+        if sql is None:
+            return []
+        self.last_sql.append(sql)
+        result = self.database.execute(sql)
+        rhs_attribute = cfd.rhs[0]
+        seen: Set[int] = set()
+        violations: List[Violation] = []
+        for row in result.rows:
+            tid = row["tid"]
+            if tid in seen:
+                continue
+            seen.add(tid)
+            data_row = relation.get(tid)
+            violations.append(
+                Violation(
+                    cfd_id=parent.identifier,
+                    kind=SINGLE,
+                    tids=(tid,),
+                    rhs_attribute=rhs_attribute,
+                    pattern_index=int(row.get("pattern_id", 0)),
+                    lhs_attributes=cfd.lhs,
+                    lhs_values=tuple(data_row.get(attr) for attr in cfd.lhs),
+                )
+            )
+        return violations
+
+    def _run_multi_query(
+        self,
+        relation: Relation,
+        parent: CFD,
+        cfd: CFD,
+        sql: Optional[str],
+    ) -> List[Violation]:
+        if sql is None:
+            return []
+        self.last_sql.append(sql)
+        result = self.database.execute(sql)
+        rhs_attribute = cfd.rhs[0]
+        violations: List[Violation] = []
+        seen_groups: Set[Tuple[Any, ...]] = set()
+        for row in result.rows:
+            lhs_values = tuple(row[attr] for attr in cfd.lhs)
+            if lhs_values in seen_groups:
+                continue
+            seen_groups.add(lhs_values)
+            pattern_index = int(row.get("pattern_id", 0))
+            pattern = cfd.patterns[pattern_index]
+            tids = self._group_member_tids(relation, cfd, pattern, lhs_values)
+            if len(tids) < 2:
+                continue
+            violations.append(
+                Violation(
+                    cfd_id=parent.identifier,
+                    kind=MULTI,
+                    tids=tuple(tids),
+                    rhs_attribute=rhs_attribute,
+                    pattern_index=pattern_index,
+                    lhs_attributes=cfd.lhs,
+                    lhs_values=lhs_values,
+                )
+            )
+        return violations
+
+    def _group_member_tids(
+        self,
+        relation: Relation,
+        cfd: CFD,
+        pattern: PatternTuple,
+        lhs_values: Tuple[Any, ...],
+    ) -> List[int]:
+        rhs_attribute = cfd.rhs[0]
+        candidate_tids = relation.lookup(list(cfd.lhs), list(lhs_values))
+        members: List[int] = []
+        for tid in candidate_tids:
+            row = relation.get(tid)
+            if not cfd.applies_to(row, pattern):
+                continue
+            if row.get(rhs_attribute) is None:
+                continue
+            members.append(tid)
+        return sorted(members)
+
+    # -- native (non-SQL) path --------------------------------------------------------
+
+    def _detect_native(
+        self, relation: Relation, parent: CFD, cfd: CFD
+    ) -> List[Violation]:
+        rhs_attribute = cfd.rhs[0]
+        violations: List[Violation] = []
+        seen_single: Set[int] = set()
+        for tid, pattern_index in single_tuple_violations(relation, cfd):
+            if tid in seen_single:
+                continue
+            seen_single.add(tid)
+            data_row = relation.get(tid)
+            violations.append(
+                Violation(
+                    cfd_id=parent.identifier,
+                    kind=SINGLE,
+                    tids=(tid,),
+                    rhs_attribute=rhs_attribute,
+                    pattern_index=pattern_index,
+                    lhs_attributes=cfd.lhs,
+                    lhs_values=tuple(data_row.get(attr) for attr in cfd.lhs),
+                )
+            )
+        seen_groups: Set[Tuple[Any, ...]] = set()
+        for pattern_index, lhs_values, tids in multi_tuple_violation_groups(relation, cfd):
+            if lhs_values in seen_groups:
+                continue
+            seen_groups.add(lhs_values)
+            violations.append(
+                Violation(
+                    cfd_id=parent.identifier,
+                    kind=MULTI,
+                    tids=tuple(tids),
+                    rhs_attribute=rhs_attribute,
+                    pattern_index=pattern_index,
+                    lhs_attributes=cfd.lhs,
+                    lhs_values=lhs_values,
+                )
+            )
+        return violations

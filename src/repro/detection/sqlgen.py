@@ -1,0 +1,198 @@
+"""Generation of SQL detection queries from CFDs.
+
+Following the SQL-based technique of the paper's companion article (Fan et
+al., TODS 2008), each (merged) CFD ``phi = (R: X -> A, Tp)`` is compiled into
+two SQL queries that run against the data relation ``R`` joined with the
+relational encoding of the pattern tableau ``Tp``:
+
+* ``Q_C`` (single-tuple violations): finds tuples that match the LHS pattern
+  of some pattern tuple whose RHS is a constant, but carry a different RHS
+  value;
+* ``Q_V`` (multi-tuple violations): groups the tuples matching the LHS
+  pattern of some pattern tuple whose RHS is the wildcard ``_`` by their LHS
+  values and keeps the groups with more than one distinct RHS value.
+
+Wildcards are encoded as the literal ``'_'`` inside the tableau relation, so
+the matching predicate for an LHS attribute ``X`` is
+``(tab.X = '_' OR tab.X = t.X)``.  For non-string attributes the data side is
+wrapped in ``CONCAT`` so the comparison happens on the string encoding used
+by the tableau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.cfd import CFD
+from ..core.pattern import WILDCARD_TOKEN
+from ..core.tableau import PATTERN_ID_COLUMN
+from ..engine.types import DataType, RelationSchema
+
+#: alias used for the data relation in generated queries
+DATA_ALIAS = "t"
+#: alias used for the tableau relation in generated queries
+TABLEAU_ALIAS = "tab"
+
+
+def _quote(value: str) -> str:
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+@dataclass(frozen=True)
+class DetectionQueries:
+    """The generated SQL for one CFD: tableau name plus the two queries."""
+
+    cfd_id: str
+    tableau_name: str
+    single_sql: Optional[str]
+    multi_sql: Optional[str]
+    group_members_sql: Optional[str]
+
+    def all_sql(self) -> List[str]:
+        """Every generated query, for logging/inspection."""
+        return [sql for sql in (self.single_sql, self.multi_sql) if sql]
+
+
+class DetectionSqlGenerator:
+    """Compiles CFDs into detection SQL against a given data relation schema."""
+
+    def __init__(self, schema: RelationSchema):
+        self.schema = schema
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _data_column(self, attribute: str) -> str:
+        """Render the data-side column, wrapping non-strings in CONCAT."""
+        dtype = self.schema.attribute(attribute).dtype
+        column = f"{DATA_ALIAS}.{attribute}"
+        if dtype is DataType.STRING:
+            return column
+        return f"CONCAT({column})"
+
+    def _match_predicate(self, attribute: str) -> str:
+        """The per-attribute LHS matching predicate against the tableau."""
+        tab_column = f"{TABLEAU_ALIAS}.{attribute}"
+        data_column = self._data_column(attribute)
+        return (
+            f"({tab_column} = {_quote(WILDCARD_TOKEN)} OR {tab_column} = {data_column})"
+        )
+
+    def _lhs_conditions(self, cfd: CFD) -> List[str]:
+        conditions: List[str] = []
+        for attribute in cfd.lhs:
+            conditions.append(f"{DATA_ALIAS}.{attribute} IS NOT NULL")
+            conditions.append(self._match_predicate(attribute))
+        return conditions
+
+    # -- query generation ---------------------------------------------------------
+
+    def single_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[str]:
+        """``Q_C``: detect tuples violating a constant RHS pattern on their own.
+
+        Returns ``None`` when no pattern tuple of the CFD has a constant RHS.
+        """
+        rhs_constant_exists = any(
+            cfd.rhs_pattern(pattern).value(attr).is_constant
+            for pattern in cfd.patterns
+            for attr in cfd.rhs
+        )
+        if not rhs_constant_exists:
+            return None
+        conditions = self._lhs_conditions(cfd)
+        rhs_parts: List[str] = []
+        for attribute in cfd.rhs:
+            tab_column = f"{TABLEAU_ALIAS}.{attribute}"
+            data_column = self._data_column(attribute)
+            rhs_parts.append(
+                f"({tab_column} <> {_quote(WILDCARD_TOKEN)} AND "
+                f"({data_column} <> {tab_column} OR {DATA_ALIAS}.{attribute} IS NULL))"
+            )
+        rhs_condition = "(" + " OR ".join(rhs_parts) + ")"
+        where = " AND ".join(conditions + [rhs_condition]) if conditions else rhs_condition
+        select_columns = [
+            f"{DATA_ALIAS}._tid AS tid",
+            f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} AS pattern_id",
+        ]
+        for attribute in cfd.rhs:
+            select_columns.append(f"{TABLEAU_ALIAS}.{attribute} AS expected_{attribute}")
+        return (
+            f"SELECT {', '.join(select_columns)}\n"
+            f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
+            f"WHERE {where}"
+        )
+
+    def multi_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[str]:
+        """``Q_V``: find LHS groups with >1 distinct value on a wildcard RHS.
+
+        Returns ``None`` when the CFD has no wildcard RHS position or an
+        empty LHS.
+        """
+        if not cfd.lhs:
+            return None
+        wildcard_rhs = [
+            attr
+            for attr in cfd.rhs
+            if any(
+                cfd.rhs_pattern(pattern).value(attr).is_wildcard
+                for pattern in cfd.patterns
+            )
+        ]
+        if not wildcard_rhs:
+            return None
+        rhs_attribute = wildcard_rhs[0]
+        conditions = self._lhs_conditions(cfd)
+        conditions.append(
+            f"{TABLEAU_ALIAS}.{rhs_attribute} = {_quote(WILDCARD_TOKEN)}"
+        )
+        conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
+        group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
+        group_columns.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN}")
+        select_columns = [
+            f"{DATA_ALIAS}.{attr} AS {attr}" for attr in cfd.lhs
+        ]
+        select_columns.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} AS pattern_id")
+        select_columns.append(
+            f"COUNT(DISTINCT {self._data_column(rhs_attribute)}) AS distinct_rhs"
+        )
+        select_columns.append(f"COUNT(*) AS group_size")
+        return (
+            f"SELECT {', '.join(select_columns)}\n"
+            f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
+            f"WHERE {' AND '.join(conditions)}\n"
+            f"GROUP BY {', '.join(group_columns)}\n"
+            f"HAVING COUNT(DISTINCT {self._data_column(rhs_attribute)}) > 1"
+        )
+
+    def group_members_query(self, cfd: CFD) -> Optional[str]:
+        """Parameterised query returning the tuples of one violating LHS group.
+
+        The data monitor and the explorer use it to enumerate the members of
+        a multi-tuple violation; parameters are the LHS values in order.
+        """
+        if not cfd.lhs:
+            return None
+        conditions = [f"{DATA_ALIAS}.{attr} = ?" for attr in cfd.lhs]
+        select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+            f"{DATA_ALIAS}.{attr} AS {attr}" for attr in cfd.rhs
+        ]
+        return (
+            f"SELECT {', '.join(select_columns)}\n"
+            f"FROM {cfd.relation} {DATA_ALIAS}\n"
+            f"WHERE {' AND '.join(conditions)}"
+        )
+
+    def generate(self, cfd: CFD, tableau_name: str) -> DetectionQueries:
+        """Generate all detection SQL for one (merged or normalised) CFD."""
+        return DetectionQueries(
+            cfd_id=cfd.identifier,
+            tableau_name=tableau_name,
+            single_sql=self.single_tuple_query(cfd, tableau_name),
+            multi_sql=self.multi_tuple_query(cfd, tableau_name),
+            group_members_sql=self.group_members_query(cfd),
+        )
+
+
+def tableau_relation_name(cfd: CFD, index: int) -> str:
+    """A unique, SQL-safe name for the materialised tableau of ``cfd``."""
+    return f"__semandaq_tableau_{index}"

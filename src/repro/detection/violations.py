@@ -1,0 +1,203 @@
+"""Violation records and the detection report.
+
+The error detector produces a :class:`ViolationReport`: the list of detected
+violations (single-tuple and multi-tuple), the per-tuple violation count
+``vio(t)`` defined in the paper, and bookkeeping that the auditor, the data
+explorer and the cleanser consume (which CFDs are violated by which tuple,
+which attributes are implicated, and so on).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+SINGLE = "single"
+MULTI = "multi"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected violation of one (normalised) CFD.
+
+    ``kind`` is ``"single"`` for a tuple that conflicts with a constant RHS
+    pattern all by itself, and ``"multi"`` for a set of tuples that jointly
+    conflict on a wildcard RHS attribute.
+    """
+
+    cfd_id: str
+    kind: str
+    tids: Tuple[int, ...]
+    rhs_attribute: str
+    pattern_index: int = 0
+    lhs_values: Tuple[Any, ...] = ()
+    lhs_attributes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SINGLE, MULTI):
+            raise ValueError(f"unknown violation kind {self.kind!r}")
+        if self.kind == SINGLE and len(self.tids) != 1:
+            raise ValueError("a single-tuple violation involves exactly one tuple")
+        if self.kind == MULTI and len(self.tids) < 2:
+            raise ValueError("a multi-tuple violation involves at least two tuples")
+
+    @property
+    def is_single(self) -> bool:
+        """Whether this is a single-tuple violation."""
+        return self.kind == SINGLE
+
+    @property
+    def is_multi(self) -> bool:
+        """Whether this is a multi-tuple violation."""
+        return self.kind == MULTI
+
+    def involves(self, tid: int) -> bool:
+        """Whether tuple ``tid`` takes part in this violation."""
+        return tid in self.tids
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation."""
+        return {
+            "cfd": self.cfd_id,
+            "kind": self.kind,
+            "tids": list(self.tids),
+            "rhs_attribute": self.rhs_attribute,
+            "pattern_index": self.pattern_index,
+            "lhs_attributes": list(self.lhs_attributes),
+            "lhs_values": list(self.lhs_values),
+        }
+
+
+@dataclass
+class ViolationReport:
+    """The complete result of a detection run over one relation."""
+
+    relation: str
+    violations: List[Violation] = field(default_factory=list)
+    tuple_count: int = 0
+    cfd_ids: Tuple[str, ...] = ()
+
+    # -- derived views ------------------------------------------------------------
+
+    def vio(self) -> Dict[int, int]:
+        """Per-tuple violation counts ``vio(t)`` as defined in the paper.
+
+        ``vio(t)`` is incremented by 1 for each CFD for which ``t`` is a
+        single-tuple violation, and by the cardinality of the set of tuples
+        that jointly (with ``t``) violate a CFD, for each such CFD.
+        """
+        counts: Dict[int, int] = defaultdict(int)
+        for violation in self.violations:
+            if violation.is_single:
+                counts[violation.tids[0]] += 1
+            else:
+                size = len(violation.tids)
+                for tid in violation.tids:
+                    counts[tid] += size - 1
+        return dict(counts)
+
+    def vio_of(self, tid: int) -> int:
+        """``vio(t)`` for a single tuple (0 if the tuple is clean)."""
+        return self.vio().get(tid, 0)
+
+    def dirty_tids(self) -> Set[int]:
+        """Tuple ids involved in at least one violation."""
+        dirty: Set[int] = set()
+        for violation in self.violations:
+            dirty.update(violation.tids)
+        return dirty
+
+    def clean_tid_count(self) -> int:
+        """Number of tuples not involved in any violation."""
+        return self.tuple_count - len(self.dirty_tids())
+
+    def single_violations(self) -> List[Violation]:
+        """All single-tuple violations."""
+        return [v for v in self.violations if v.is_single]
+
+    def multi_violations(self) -> List[Violation]:
+        """All multi-tuple violations."""
+        return [v for v in self.violations if v.is_multi]
+
+    def violations_for(self, tid: int) -> List[Violation]:
+        """Violations in which tuple ``tid`` participates."""
+        return [v for v in self.violations if v.involves(tid)]
+
+    def cfds_violated_by(self, tid: int) -> List[str]:
+        """Identifiers of the CFDs violated by tuple ``tid`` (deduplicated)."""
+        seen: List[str] = []
+        for violation in self.violations_for(tid):
+            if violation.cfd_id not in seen:
+                seen.append(violation.cfd_id)
+        return seen
+
+    def attributes_implicated(self, tid: int) -> Set[str]:
+        """Attributes implicated in violations of tuple ``tid``.
+
+        Both the RHS attribute and the LHS attributes of each violated CFD
+        are implicated — the repair algorithm may change either side.
+        """
+        attrs: Set[str] = set()
+        for violation in self.violations_for(tid):
+            attrs.add(violation.rhs_attribute)
+            attrs.update(violation.lhs_attributes)
+        return attrs
+
+    def per_cfd_counts(self) -> Dict[str, Dict[str, int]]:
+        """For each CFD id: number of single / multi violations and tuples touched."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for cfd_id in self.cfd_ids:
+            summary[cfd_id] = {"single": 0, "multi": 0, "tuples": 0}
+        touched: Dict[str, Set[int]] = defaultdict(set)
+        for violation in self.violations:
+            entry = summary.setdefault(
+                violation.cfd_id, {"single": 0, "multi": 0, "tuples": 0}
+            )
+            entry[violation.kind] += 1
+            touched[violation.cfd_id].update(violation.tids)
+        for cfd_id, tids in touched.items():
+            summary[cfd_id]["tuples"] = len(tids)
+        return summary
+
+    def is_clean(self) -> bool:
+        """Whether no violation was detected."""
+        return not self.violations
+
+    def total_violations(self) -> int:
+        """Total number of violation records."""
+        return len(self.violations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation of the full report."""
+        return {
+            "relation": self.relation,
+            "tuple_count": self.tuple_count,
+            "cfds": list(self.cfd_ids),
+            "violations": [violation.to_dict() for violation in self.violations],
+            "vio": {str(tid): count for tid, count in sorted(self.vio().items())},
+        }
+
+    def merged_with(self, other: "ViolationReport") -> "ViolationReport":
+        """Combine two reports over the same relation (deduplicating records)."""
+        seen = set()
+        merged: List[Violation] = []
+        for violation in list(self.violations) + list(other.violations):
+            key = (
+                violation.cfd_id,
+                violation.kind,
+                violation.tids,
+                violation.rhs_attribute,
+                violation.pattern_index,
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            merged.append(violation)
+        cfd_ids = tuple(dict.fromkeys(self.cfd_ids + other.cfd_ids))
+        return ViolationReport(
+            relation=self.relation,
+            violations=merged,
+            tuple_count=max(self.tuple_count, other.tuple_count),
+            cfd_ids=cfd_ids,
+        )

@@ -1,0 +1,20 @@
+"""CFD discovery from reference data: constant rules and conditioned FDs."""
+
+from .cfdminer import ConstantCfdMiner, DiscoveredRule
+from .ctane import DiscoveredCfd, VariableCfdDiscoverer
+from .lattice import fd_confidence, fd_holds, partition, value_frequencies
+from .sampling import sample_relation, split_relation, validate_cfds
+
+__all__ = [
+    "ConstantCfdMiner",
+    "DiscoveredRule",
+    "VariableCfdDiscoverer",
+    "DiscoveredCfd",
+    "fd_holds",
+    "fd_confidence",
+    "partition",
+    "value_frequencies",
+    "sample_relation",
+    "split_relation",
+    "validate_cfds",
+]

@@ -1,0 +1,185 @@
+"""Discovery of constant CFDs from reference data.
+
+The paper notes that the constraint engine's CFDs "may either be explicitly
+specified by users or automatically discovered from reference data".  This
+module mines *constant* CFDs — rules of the form
+``[A1='a1', ..., Ak='ak'] -> [B='b']`` — in the spirit of CFDMiner: a
+constant CFD corresponds to an association rule with 100% (or configurably
+high) confidence whose LHS itemset is frequent, restricted to minimal LHS
+itemsets so the output is not drowned in redundant specialisations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.cfd import CFD
+from ..engine.relation import Relation
+from ..errors import DiscoveryError
+
+Item = Tuple[str, Any]  # (attribute, value)
+
+
+@dataclass(frozen=True)
+class DiscoveredRule:
+    """A mined constant rule with its support and confidence."""
+
+    lhs_items: Tuple[Item, ...]
+    rhs_item: Item
+    support: int
+    confidence: float
+
+    def to_cfd(self, relation_name: str, name: Optional[str] = None) -> CFD:
+        """Convert the rule to a constant CFD."""
+        lhs = {attribute: value for attribute, value in self.lhs_items}
+        rhs = {self.rhs_item[0]: self.rhs_item[1]}
+        return CFD.build(relation_name, lhs, rhs, name=name)
+
+
+class ConstantCfdMiner:
+    """Levelwise miner for constant CFDs."""
+
+    def __init__(
+        self,
+        min_support: int = 2,
+        min_confidence: float = 1.0,
+        max_lhs_size: int = 2,
+    ):
+        if min_support < 1:
+            raise DiscoveryError("min_support must be at least 1")
+        if not 0.0 < min_confidence <= 1.0:
+            raise DiscoveryError("min_confidence must be in (0, 1]")
+        if max_lhs_size < 1:
+            raise DiscoveryError("max_lhs_size must be at least 1")
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_lhs_size = max_lhs_size
+
+    # -- mining --------------------------------------------------------------------
+
+    def mine(self, relation: Relation) -> List[DiscoveredRule]:
+        """Mine constant rules from ``relation`` (assumed to be reference/clean data)."""
+        transactions = self._transactions(relation)
+        frequent = self._frequent_itemsets(transactions)
+        rules = self._rules(frequent, transactions)
+        return self._keep_minimal(rules)
+
+    def mine_cfds(
+        self, relation: Relation, name_prefix: str = "discovered"
+    ) -> List[CFD]:
+        """Mine rules and return them as constant CFDs."""
+        rules = self.mine(relation)
+        return [
+            rule.to_cfd(relation.name, name=f"{name_prefix}{index + 1}")
+            for index, rule in enumerate(rules)
+        ]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _transactions(self, relation: Relation) -> List[Set[Item]]:
+        transactions: List[Set[Item]] = []
+        for _tid, row in relation.rows():
+            transactions.append(
+                {(attribute, value) for attribute, value in row.items() if value is not None}
+            )
+        return transactions
+
+    def _frequent_itemsets(
+        self, transactions: List[Set[Item]]
+    ) -> Dict[FrozenSet[Item], int]:
+        """Apriori-style levelwise frequent itemsets up to ``max_lhs_size + 1`` items."""
+        max_size = self.max_lhs_size + 1  # +1 for the RHS item
+        counts: Dict[FrozenSet[Item], int] = defaultdict(int)
+        for transaction in transactions:
+            for item in transaction:
+                counts[frozenset([item])] += 1
+        frequent: Dict[FrozenSet[Item], int] = {
+            itemset: count
+            for itemset, count in counts.items()
+            if count >= self.min_support
+        }
+        current_level = list(frequent)
+        for size in range(2, max_size + 1):
+            candidates: Set[FrozenSet[Item]] = set()
+            singles = [next(iter(itemset)) for itemset in frequent if len(itemset) == 1]
+            for itemset in current_level:
+                if len(itemset) != size - 1:
+                    continue
+                for item in singles:
+                    if item in itemset:
+                        continue
+                    candidate = itemset | {item}
+                    # one item per attribute
+                    if len({attribute for attribute, _ in candidate}) != size:
+                        continue
+                    candidates.add(candidate)
+            level_counts: Dict[FrozenSet[Item], int] = defaultdict(int)
+            for transaction in transactions:
+                for candidate in candidates:
+                    if candidate <= transaction:
+                        level_counts[candidate] += 1
+            new_level = [
+                candidate
+                for candidate, count in level_counts.items()
+                if count >= self.min_support
+            ]
+            for candidate in new_level:
+                frequent[candidate] = level_counts[candidate]
+            if not new_level:
+                break
+            current_level = new_level
+        return frequent
+
+    def _rules(
+        self,
+        frequent: Dict[FrozenSet[Item], int],
+        transactions: List[Set[Item]],
+    ) -> List[DiscoveredRule]:
+        rules: List[DiscoveredRule] = []
+        for itemset, support in frequent.items():
+            if len(itemset) < 2:
+                continue
+            for rhs_item in itemset:
+                lhs_items = itemset - {rhs_item}
+                if len(lhs_items) > self.max_lhs_size:
+                    continue
+                lhs_support = frequent.get(frozenset(lhs_items))
+                if lhs_support is None:
+                    lhs_support = sum(
+                        1 for transaction in transactions if lhs_items <= transaction
+                    )
+                if lhs_support == 0:
+                    continue
+                confidence = support / lhs_support
+                if confidence + 1e-12 < self.min_confidence:
+                    continue
+                rules.append(
+                    DiscoveredRule(
+                        lhs_items=tuple(sorted(lhs_items)),
+                        rhs_item=rhs_item,
+                        support=support,
+                        confidence=confidence,
+                    )
+                )
+        return rules
+
+    def _keep_minimal(self, rules: List[DiscoveredRule]) -> List[DiscoveredRule]:
+        """Keep only rules whose LHS is minimal for their RHS item."""
+        by_rhs: Dict[Item, List[DiscoveredRule]] = defaultdict(list)
+        for rule in rules:
+            by_rhs[rule.rhs_item].append(rule)
+        kept: List[DiscoveredRule] = []
+        for rhs_item, group in by_rhs.items():
+            group_sorted = sorted(group, key=lambda rule: (len(rule.lhs_items), rule.lhs_items))
+            minimal_lhs: List[FrozenSet[Item]] = []
+            for rule in group_sorted:
+                lhs = frozenset(rule.lhs_items)
+                if any(existing <= lhs for existing in minimal_lhs):
+                    continue
+                minimal_lhs.append(lhs)
+                kept.append(rule)
+        kept.sort(key=lambda rule: (-rule.support, rule.lhs_items, rule.rhs_item))
+        return kept

@@ -1,0 +1,213 @@
+"""Discovery of variable CFDs (conditional FDs) from reference data.
+
+A levelwise search in the spirit of CTANE / TANE:
+
+1. plain FDs ``X -> A`` that hold exactly on the data are emitted as
+   all-wildcard CFDs (minimal LHS only);
+2. for candidate FDs that *almost* hold, the search looks for conditions —
+   constant bindings of one or more LHS attributes — under which the FD does
+   hold on the selected subset with at least ``min_support`` matching tuples.
+   Each such condition becomes a pattern tuple of a variable CFD, e.g.
+   ``[CNT='UK', ZIP=_] -> [STR=_]``.
+
+The search is bounded by ``max_lhs_size`` and ``max_conditions`` to stay
+polynomial in practice; discovery of a full minimal cover of all CFDs is
+exponential in the number of attributes in the worst case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.cfd import CFD
+from ..core.pattern import PatternTuple, PatternValue
+from ..engine.relation import Relation
+from ..errors import DiscoveryError
+from .lattice import (
+    attribute_subsets,
+    fd_confidence,
+    fd_holds,
+    partition,
+    value_frequencies,
+)
+
+
+@dataclass(frozen=True)
+class DiscoveredCfd:
+    """A discovered (possibly conditional) FD with its quality measures."""
+
+    cfd: CFD
+    support: int
+    confidence: float
+    conditional: bool
+
+
+class VariableCfdDiscoverer:
+    """Levelwise discovery of plain FDs and conditioned (variable) CFDs."""
+
+    def __init__(
+        self,
+        min_support: int = 3,
+        min_confidence: float = 1.0,
+        max_lhs_size: int = 3,
+        max_conditions: int = 1,
+    ):
+        if min_support < 2:
+            raise DiscoveryError("min_support must be at least 2 for variable CFDs")
+        if not 0.0 < min_confidence <= 1.0:
+            raise DiscoveryError("min_confidence must be in (0, 1]")
+        if max_lhs_size < 1:
+            raise DiscoveryError("max_lhs_size must be at least 1")
+        if max_conditions < 0 or max_conditions > max_lhs_size:
+            raise DiscoveryError("max_conditions must be between 0 and max_lhs_size")
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_lhs_size = max_lhs_size
+        self.max_conditions = max_conditions
+
+    # -- discovery -------------------------------------------------------------------
+
+    def discover(self, relation: Relation) -> List[DiscoveredCfd]:
+        """Discover plain FDs and conditioned CFDs from ``relation``."""
+        attributes = relation.attribute_names
+        results: List[DiscoveredCfd] = []
+        minimal_fd_lhs: Dict[str, Set[FrozenSet[str]]] = defaultdict(set)
+
+        for rhs in attributes:
+            candidates = [
+                lhs
+                for lhs in attribute_subsets([a for a in attributes if a != rhs], self.max_lhs_size)
+            ]
+            for lhs in candidates:
+                lhs_frozen = frozenset(lhs)
+                # skip non-minimal LHS (a subset already gives the FD)
+                if any(existing <= lhs_frozen for existing in minimal_fd_lhs[rhs]):
+                    continue
+                support = self._support(relation, lhs)
+                if support < self.min_support:
+                    continue
+                if fd_holds(relation, lhs, rhs):
+                    minimal_fd_lhs[rhs].add(lhs_frozen)
+                    cfd = CFD.from_fd(relation.name, lhs, [rhs])
+                    results.append(
+                        DiscoveredCfd(
+                            cfd=cfd,
+                            support=support,
+                            confidence=1.0,
+                            conditional=False,
+                        )
+                    )
+                    continue
+                results.extend(self._conditioned(relation, lhs, rhs))
+        return results
+
+    def discover_cfds(self, relation: Relation, name_prefix: str = "ctane") -> List[CFD]:
+        """Return just the CFDs, named ``ctane1``, ``ctane2``, …"""
+        discovered = self.discover(relation)
+        cfds: List[CFD] = []
+        for index, item in enumerate(discovered):
+            renamed = CFD(
+                relation=item.cfd.relation,
+                lhs=item.cfd.lhs,
+                rhs=item.cfd.rhs,
+                patterns=item.cfd.patterns,
+                name=f"{name_prefix}{index + 1}",
+            )
+            cfds.append(renamed)
+        return cfds
+
+    # -- conditioning -----------------------------------------------------------------
+
+    def _conditioned(
+        self, relation: Relation, lhs: Tuple[str, ...], rhs: str
+    ) -> List[DiscoveredCfd]:
+        """Find constant bindings of LHS attributes under which the FD holds."""
+        if self.max_conditions == 0:
+            return []
+        results: List[DiscoveredCfd] = []
+        for condition_size in range(1, min(self.max_conditions, len(lhs)) + 1):
+            for condition_attrs in itertools.combinations(lhs, condition_size):
+                for binding in self._bindings(relation, condition_attrs):
+                    selected = self._select(relation, dict(zip(condition_attrs, binding)))
+                    if len(selected) < self.min_support:
+                        continue
+                    confidence = self._conditional_confidence(
+                        relation, selected, lhs, rhs
+                    )
+                    if confidence + 1e-12 < self.min_confidence:
+                        continue
+                    mapping: Dict[str, PatternValue] = {}
+                    for attribute in lhs:
+                        if attribute in condition_attrs:
+                            index = condition_attrs.index(attribute)
+                            mapping[attribute] = PatternValue.const(binding[index])
+                        else:
+                            mapping[attribute] = PatternValue.wildcard()
+                    mapping[rhs] = PatternValue.wildcard()
+                    cfd = CFD(
+                        relation=relation.name,
+                        lhs=lhs,
+                        rhs=(rhs,),
+                        patterns=(PatternTuple.of(mapping),),
+                    )
+                    results.append(
+                        DiscoveredCfd(
+                            cfd=cfd,
+                            support=len(selected),
+                            confidence=confidence,
+                            conditional=True,
+                        )
+                    )
+        return results
+
+    def _bindings(
+        self, relation: Relation, attributes: Tuple[str, ...]
+    ) -> Iterable[Tuple[Any, ...]]:
+        """Frequent value combinations of ``attributes`` (support-filtered)."""
+        blocks = partition(relation, attributes)
+        for key, tids in blocks.items():
+            if isinstance(key, tuple) and len(key) == 2 and key[0] == "__null__":
+                continue
+            if len(tids) >= self.min_support:
+                yield key
+
+    def _select(self, relation: Relation, binding: Dict[str, Any]) -> List[int]:
+        return [
+            tid
+            for tid, row in relation.rows()
+            if all(row.get(attribute) == value for attribute, value in binding.items())
+        ]
+
+    def _conditional_confidence(
+        self,
+        relation: Relation,
+        selected_tids: List[int],
+        lhs: Tuple[str, ...],
+        rhs: str,
+    ) -> float:
+        groups: Dict[Tuple[Any, ...], Dict[Any, int]] = defaultdict(lambda: defaultdict(int))
+        total = 0
+        for tid in selected_tids:
+            row = relation.get(tid)
+            if any(row.get(attribute) is None for attribute in lhs):
+                continue
+            value = row.get(rhs)
+            if value is None:
+                continue
+            total += 1
+            key = tuple(row.get(attribute) for attribute in lhs)
+            groups[key][value] += 1
+        if total == 0:
+            return 1.0
+        kept = sum(max(counts.values()) for counts in groups.values())
+        return kept / total
+
+    def _support(self, relation: Relation, lhs: Tuple[str, ...]) -> int:
+        return sum(
+            1
+            for _tid, row in relation.rows()
+            if all(row.get(attribute) is not None for attribute in lhs)
+        )

@@ -1,0 +1,29 @@
+"""Relational engine substrate: typed relations, indexes, SQL, CSV/JSON I/O.
+
+This package plays the role of the "Database Servers" layer in the Semandaq
+architecture (Fig. 1 of the paper): it stores the data to be cleaned and
+executes the SQL that the error detector generates from CFDs.
+"""
+
+from .csvio import dump_csv, dump_json, load_csv, load_json
+from .database import Database
+from .index import HashIndex
+from .relation import Relation
+from .sql import ResultSet, execute_sql, parse_sql
+from .types import AttributeDef, DataType, RelationSchema
+
+__all__ = [
+    "AttributeDef",
+    "DataType",
+    "Database",
+    "HashIndex",
+    "Relation",
+    "RelationSchema",
+    "ResultSet",
+    "dump_csv",
+    "dump_json",
+    "execute_sql",
+    "load_csv",
+    "load_json",
+    "parse_sql",
+]

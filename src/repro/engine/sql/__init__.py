@@ -1,0 +1,28 @@
+"""A small SQL subset: lexer, parser, planner and executor.
+
+The subset covers exactly what the Semandaq components need:
+
+* SELECT with cross joins, explicit INNER JOINs, WHERE, GROUP BY, HAVING,
+  ORDER BY, LIMIT, DISTINCT, aggregates including ``COUNT(DISTINCT ...)``
+  (used by the multi-tuple CFD violation query);
+* INSERT / UPDATE / DELETE (used by the data monitor to apply updates);
+* CREATE TABLE / DROP TABLE (used to materialise pattern tableaux).
+"""
+
+from .ast import Select, Statement
+from .executor import ResultSet, execute_sql, execute_statement
+from .lexer import tokenize
+from .parser import parse_sql
+from .planner import explain, plan_select
+
+__all__ = [
+    "Select",
+    "Statement",
+    "ResultSet",
+    "execute_sql",
+    "execute_statement",
+    "tokenize",
+    "parse_sql",
+    "plan_select",
+    "explain",
+]

@@ -1,0 +1,298 @@
+"""Abstract syntax tree for the SQL subset.
+
+The subset is dimensioned for the CFD detection queries of the paper
+(cross joins against pattern tableaux, WHERE with matching predicates,
+GROUP BY / HAVING with COUNT(DISTINCT ...)) plus the DML needed by the
+data monitor (INSERT / UPDATE / DELETE) and CREATE TABLE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value (string, number, boolean or NULL)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional ``?`` parameter, filled at execution time."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference such as ``t.ZIP`` or ``ZIP``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        """The display/key form, e.g. ``t.ZIP``."""
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``alias.*`` in a select list or ``COUNT(*)``."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operator: ``NOT expr`` or ``-expr``."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operator: comparisons, AND/OR, arithmetic, string concat."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar or aggregate function call.
+
+    ``distinct`` applies only to aggregates (``COUNT(DISTINCT x)``).
+    """
+
+    name: str
+    args: Tuple[Expression, ...]
+    distinct: bool = False
+
+    @property
+    def lowered_name(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value [WHEN ...] [ELSE value] END``."""
+
+    whens: Tuple[Tuple[Expression, Expression], ...]
+    else_value: Optional[Expression] = None
+
+
+AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """Return whether ``expr`` contains an aggregate function call."""
+    if isinstance(expr, FunctionCall):
+        if expr.lowered_name in AGGREGATE_FUNCTIONS:
+            return True
+        return any(contains_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, IsNull):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, InList):
+        return contains_aggregate(expr.operand) or any(
+            contains_aggregate(item) for item in expr.items
+        )
+    if isinstance(expr, Like):
+        return contains_aggregate(expr.operand) or contains_aggregate(expr.pattern)
+    if isinstance(expr, CaseWhen):
+        for cond, value in expr.whens:
+            if contains_aggregate(cond) or contains_aggregate(value):
+                return True
+        return expr.else_value is not None and contains_aggregate(expr.else_value)
+    return False
+
+
+def column_refs(expr: Expression) -> List[ColumnRef]:
+    """Collect every :class:`ColumnRef` appearing in ``expr``."""
+    refs: List[ColumnRef] = []
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, ColumnRef):
+            refs.append(node)
+        elif isinstance(node, UnaryOp):
+            visit(node.operand)
+        elif isinstance(node, BinaryOp):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, IsNull):
+            visit(node.operand)
+        elif isinstance(node, InList):
+            visit(node.operand)
+            for item in node.items:
+                visit(item)
+        elif isinstance(node, Like):
+            visit(node.operand)
+            visit(node.pattern)
+        elif isinstance(node, FunctionCall):
+            for arg in node.args:
+                visit(arg)
+        elif isinstance(node, CaseWhen):
+            for cond, value in node.whens:
+                visit(cond)
+                visit(value)
+            if node.else_value is not None:
+                visit(node.else_value)
+
+    visit(expr)
+    return refs
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for all statements."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of a select list: an expression with an optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference in a FROM clause, with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name the table is visible under inside the query."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """An explicit ``JOIN ... ON ...`` (INNER only)."""
+
+    table: TableRef
+    condition: Expression
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key with its direction."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A SELECT statement."""
+
+    items: Tuple[SelectItem, ...]
+    from_tables: Tuple[TableRef, ...]
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO table (cols) VALUES (...), (...)``."""
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE table SET col = expr [, ...] [WHERE expr]``."""
+
+    table: str
+    assignments: Tuple[Tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM table [WHERE expr]``."""
+
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str
+    not_null: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """``CREATE TABLE name (col type [NOT NULL], ...)``."""
+
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    primary_key: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    """``DROP TABLE name``."""
+
+    name: str
+    if_exists: bool = False

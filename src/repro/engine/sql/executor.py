@@ -1,0 +1,591 @@
+"""Executor for the SQL subset.
+
+Evaluates logical plans produced by :mod:`repro.engine.sql.planner` against a
+:class:`~repro.engine.database.Database`, and executes DML / DDL statements
+directly.  SELECT results are returned as :class:`ResultSet` objects.
+
+During execution each intermediate row is represented as a dict keyed by
+``binding.column``.  Base-table scans additionally expose a ``binding._tid``
+pseudo-column so that queries (in particular the CFD detection queries) can
+return stable tuple identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ...errors import SqlExecutionError
+from ..types import AttributeDef, DataType, RelationSchema, compare_values, values_equal
+from . import ast
+from .functions import aggregate, call_scalar, is_scalar_function
+from .parser import parse_sql
+from .planner import (
+    AggregateNode,
+    CrossJoinNode,
+    DistinctNode,
+    FilterNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    plan_select,
+)
+
+TID_COLUMN = "_tid"
+
+
+@dataclass
+class ResultSet:
+    """The result of a SELECT: ordered column names plus rows as dicts."""
+
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """Return all values of output column ``name``."""
+        if name not in self.columns:
+            raise SqlExecutionError(f"unknown output column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """Return the single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise SqlExecutionError(
+                f"scalar() expects a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][self.columns[0]]
+
+    def to_tuples(self) -> List[Tuple[Any, ...]]:
+        """Return rows as tuples ordered by the output columns."""
+        return [tuple(row.get(col) for col in self.columns) for row in self.rows]
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def resolve_column(env: Dict[str, Any], ref: ast.ColumnRef) -> Any:
+    """Resolve a column reference against an execution row ``env``."""
+    if ref.table is not None:
+        key = f"{ref.table}.{ref.name}"
+        if key in env:
+            return env[key]
+        raise SqlExecutionError(f"unknown column {key!r}")
+    if ref.name in env:
+        return env[ref.name]
+    suffix = f".{ref.name}"
+    matches = [key for key in env if key.endswith(suffix)]
+    if len(matches) == 1:
+        return env[matches[0]]
+    if not matches:
+        raise SqlExecutionError(f"unknown column {ref.name!r}")
+    raise SqlExecutionError(
+        f"ambiguous column {ref.name!r}: candidates {sorted(matches)}"
+    )
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    regex_parts: List[str] = []
+    for ch in pattern:
+        if ch == "%":
+            regex_parts.append(".*")
+        elif ch == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(ch))
+    return re.compile("^" + "".join(regex_parts) + "$", re.DOTALL)
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions against execution rows, with SQL NULL semantics."""
+
+    def __init__(self, parameters: Sequence[Any] = ()):  # noqa: D107
+        self.parameters = list(parameters)
+
+    # The ``group`` argument carries the rows of the current group so that
+    # aggregate function calls can be evaluated; it is ``None`` outside of an
+    # AggregateNode.
+    def evaluate(
+        self,
+        expr: ast.Expression,
+        env: Dict[str, Any],
+        group: Optional[List[Dict[str, Any]]] = None,
+    ) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Parameter):
+            if expr.index >= len(self.parameters):
+                raise SqlExecutionError(
+                    f"missing value for parameter #{expr.index + 1}"
+                )
+            return self.parameters[expr.index]
+        if isinstance(expr, ast.ColumnRef):
+            return resolve_column(env, expr)
+        if isinstance(expr, ast.Star):
+            raise SqlExecutionError("'*' is only valid in a select list or COUNT(*)")
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary(expr, env, group)
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr, env, group)
+        if isinstance(expr, ast.IsNull):
+            value = self.evaluate(expr.operand, env, group)
+            result = value is None
+            return (not result) if expr.negated else result
+        if isinstance(expr, ast.InList):
+            return self._in_list(expr, env, group)
+        if isinstance(expr, ast.Like):
+            return self._like(expr, env, group)
+        if isinstance(expr, ast.FunctionCall):
+            return self._function(expr, env, group)
+        if isinstance(expr, ast.CaseWhen):
+            for condition, value in expr.whens:
+                if self.evaluate(condition, env, group) is True:
+                    return self.evaluate(value, env, group)
+            if expr.else_value is not None:
+                return self.evaluate(expr.else_value, env, group)
+            return None
+        raise SqlExecutionError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+    # -- operators -------------------------------------------------------------
+
+    def _unary(self, expr: ast.UnaryOp, env, group) -> Any:
+        value = self.evaluate(expr.operand, env, group)
+        if expr.op == "not":
+            if value is None:
+                return None
+            return not bool(value)
+        if expr.op == "-":
+            return None if value is None else -value
+        raise SqlExecutionError(f"unknown unary operator {expr.op!r}")
+
+    def _binary(self, expr: ast.BinaryOp, env, group) -> Any:
+        op = expr.op
+        if op == "and":
+            left = self.evaluate(expr.left, env, group)
+            if left is False:
+                return False
+            right = self.evaluate(expr.right, env, group)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return bool(left) and bool(right)
+        if op == "or":
+            left = self.evaluate(expr.left, env, group)
+            if left is True:
+                return True
+            right = self.evaluate(expr.right, env, group)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return bool(left) or bool(right)
+
+        left = self.evaluate(expr.left, env, group)
+        right = self.evaluate(expr.right, env, group)
+        if op == "=":
+            if left is None or right is None:
+                return None
+            return values_equal(left, right)
+        if op == "<>":
+            if left is None or right is None:
+                return None
+            return not values_equal(left, right)
+        if op in ("<", "<=", ">", ">="):
+            comparison = compare_values(left, right)
+            if comparison is None:
+                return None
+            if op == "<":
+                return comparison < 0
+            if op == "<=":
+                return comparison <= 0
+            if op == ">":
+                return comparison > 0
+            return comparison >= 0
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        if op in ("+", "-", "*", "/", "%"):
+            if left is None or right is None:
+                return None
+            try:
+                if op == "+":
+                    return left + right
+                if op == "-":
+                    return left - right
+                if op == "*":
+                    return left * right
+                if op == "/":
+                    return left / right
+                return left % right
+            except (TypeError, ZeroDivisionError) as exc:
+                raise SqlExecutionError(f"arithmetic error: {exc}") from exc
+        raise SqlExecutionError(f"unknown operator {op!r}")
+
+    def _in_list(self, expr: ast.InList, env, group) -> Any:
+        value = self.evaluate(expr.operand, env, group)
+        if value is None:
+            return None
+        found = False
+        saw_null = False
+        for item in expr.items:
+            candidate = self.evaluate(item, env, group)
+            if candidate is None:
+                saw_null = True
+            elif values_equal(value, candidate):
+                found = True
+                break
+        if found:
+            return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _like(self, expr: ast.Like, env, group) -> Any:
+        value = self.evaluate(expr.operand, env, group)
+        pattern = self.evaluate(expr.pattern, env, group)
+        if value is None or pattern is None:
+            return None
+        matched = _like_to_regex(str(pattern)).match(str(value)) is not None
+        return (not matched) if expr.negated else matched
+
+    def _function(self, expr: ast.FunctionCall, env, group) -> Any:
+        name = expr.lowered_name
+        if name in ast.AGGREGATE_FUNCTIONS:
+            if group is None:
+                raise SqlExecutionError(
+                    f"aggregate {expr.name.upper()} used outside GROUP BY context"
+                )
+            if name == "count" and (not expr.args or isinstance(expr.args[0], ast.Star)):
+                return len(group)
+            if not expr.args:
+                raise SqlExecutionError(f"{expr.name.upper()} requires an argument")
+            values = [self.evaluate(expr.args[0], row, None) for row in group]
+            return aggregate(name, values, distinct=expr.distinct)
+        if is_scalar_function(name):
+            args = [self.evaluate(arg, env, group) for arg in expr.args]
+            return call_scalar(name, args)
+        raise SqlExecutionError(f"unknown function {expr.name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Plan execution
+# ---------------------------------------------------------------------------
+
+
+def _output_name(item: ast.SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    if isinstance(item.expression, ast.ColumnRef):
+        return item.expression.name
+    if isinstance(item.expression, ast.FunctionCall):
+        return item.expression.lowered_name
+    return f"col{position}"
+
+
+class PlanExecutor:
+    """Executes a logical SELECT plan against a database."""
+
+    def __init__(self, database, evaluator: ExpressionEvaluator):
+        self.database = database
+        self.evaluator = evaluator
+
+    def execute(self, node: PlanNode) -> ResultSet:
+        rows = self._rows(node)
+        if isinstance(node, (ProjectNode, AggregateNode, DistinctNode, SortNode, LimitNode)):
+            columns = self._output_columns(node)
+        else:  # pragma: no cover - plans always end in a projection
+            columns = sorted({key for row in rows for key in row})
+        return ResultSet(columns=columns, rows=rows)
+
+    def _output_columns(self, node: PlanNode) -> List[str]:
+        if isinstance(node, (DistinctNode, SortNode, LimitNode)):
+            return self._output_columns(node.child)
+        if isinstance(node, ProjectNode):
+            return self._project_columns(node.items)
+        if isinstance(node, AggregateNode):
+            return self._project_columns(node.items)
+        raise SqlExecutionError("plan does not end in a projection")
+
+    def _project_columns(self, items: Tuple[ast.SelectItem, ...]) -> List[str]:
+        columns: List[str] = []
+        for position, item in enumerate(items):
+            if isinstance(item.expression, ast.Star):
+                columns.append("*")
+            else:
+                columns.append(_output_name(item, position))
+        return columns
+
+    # -- row production ----------------------------------------------------------
+
+    def _rows(self, node: PlanNode) -> List[Dict[str, Any]]:
+        if isinstance(node, ScanNode):
+            return self._scan(node)
+        if isinstance(node, CrossJoinNode):
+            left_rows = self._rows(node.left)
+            right_rows = self._rows(node.right)
+            joined: List[Dict[str, Any]] = []
+            for left in left_rows:
+                for right in right_rows:
+                    combined = dict(left)
+                    combined.update(right)
+                    joined.append(combined)
+            return joined
+        if isinstance(node, FilterNode):
+            return [
+                row
+                for row in self._rows(node.child)
+                if self.evaluator.evaluate(node.predicate, row) is True
+            ]
+        if isinstance(node, AggregateNode):
+            return self._aggregate(node)
+        if isinstance(node, ProjectNode):
+            return [self._project_row(node.items, row) for row in self._rows(node.child)]
+        if isinstance(node, DistinctNode):
+            seen: List[Tuple] = []
+            output: List[Dict[str, Any]] = []
+            seen_set = set()
+            for row in self._rows(node.child):
+                key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+                try:
+                    hashable = key
+                    if hashable in seen_set:
+                        continue
+                    seen_set.add(hashable)
+                except TypeError:
+                    if key in seen:
+                        continue
+                    seen.append(key)
+                output.append(row)
+            return output
+        if isinstance(node, SortNode):
+            rows = self._rows(node.child)
+
+            def sort_env(row: Dict[str, Any]) -> Dict[str, Any]:
+                if not node.items:
+                    return row
+                extended = dict(row)
+                for position, item in enumerate(node.items):
+                    if isinstance(item.expression, ast.Star):
+                        continue
+                    name = _output_name(item, position)
+                    if name not in extended:
+                        try:
+                            extended[name] = self.evaluator.evaluate(item.expression, row)
+                        except SqlExecutionError:
+                            continue
+                return extended
+
+            for key in reversed(node.keys):
+                rows.sort(
+                    key=lambda row, k=key: _sort_key(
+                        self.evaluator.evaluate(k.expression, sort_env(row))
+                    ),
+                    reverse=not key.ascending,
+                )
+            return rows
+        if isinstance(node, LimitNode):
+            return self._rows(node.child)[: node.limit]
+        raise SqlExecutionError(f"unknown plan node {type(node).__name__}")
+
+    def _scan(self, node: ScanNode) -> List[Dict[str, Any]]:
+        if not node.relation:
+            return [{}]
+        relation = self.database.relation(node.relation)
+        binding = node.binding
+        rows: List[Dict[str, Any]] = []
+        for tid, row in relation.rows():
+            env = {f"{binding}.{column}": value for column, value in row.items()}
+            env[f"{binding}.{TID_COLUMN}"] = tid
+            rows.append(env)
+        return rows
+
+    def _project_row(
+        self, items: Tuple[ast.SelectItem, ...], row: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        output: Dict[str, Any] = {}
+        for position, item in enumerate(items):
+            if isinstance(item.expression, ast.Star):
+                prefix = f"{item.expression.table}." if item.expression.table else ""
+                for key, value in row.items():
+                    if key.endswith(f".{TID_COLUMN}"):
+                        continue
+                    if prefix and not key.startswith(prefix):
+                        continue
+                    short = key.split(".", 1)[1] if "." in key else key
+                    output.setdefault(short, value)
+                continue
+            output[_output_name(item, position)] = self.evaluator.evaluate(
+                item.expression, row
+            )
+        return output
+
+    def _aggregate(self, node: AggregateNode) -> List[Dict[str, Any]]:
+        input_rows = self._rows(node.child)
+        groups: Dict[Tuple, List[Dict[str, Any]]] = {}
+        order: List[Tuple] = []
+        if node.group_by:
+            for row in input_rows:
+                key = tuple(
+                    _hashable(self.evaluator.evaluate(expr, row)) for expr in node.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+        else:
+            groups[()] = input_rows
+            order.append(())
+        output: List[Dict[str, Any]] = []
+        for key in order:
+            group_rows = groups[key]
+            representative = group_rows[0] if group_rows else {}
+            if node.having is not None:
+                verdict = self.evaluator.evaluate(node.having, representative, group_rows)
+                if verdict is not True:
+                    continue
+            out_row: Dict[str, Any] = {}
+            for position, item in enumerate(node.items):
+                if isinstance(item.expression, ast.Star):
+                    raise SqlExecutionError("'*' cannot appear in an aggregate select list")
+                out_row[_output_name(item, position)] = self.evaluator.evaluate(
+                    item.expression, representative, group_rows
+                )
+            output.append(out_row)
+        return output
+
+
+def _hashable(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return str(value)
+
+
+def _sort_key(value: Any) -> Tuple[int, Any]:
+    """Sort NULLs first, then by type bucket, then value."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    return (3, str(value))
+
+
+# ---------------------------------------------------------------------------
+# Statement dispatch
+# ---------------------------------------------------------------------------
+
+
+def execute_sql(database, sql: str, parameters: Optional[Sequence[Any]] = None):
+    """Parse and execute one SQL statement against ``database``."""
+    statement = parse_sql(sql)
+    return execute_statement(database, statement, parameters)
+
+
+def execute_statement(database, statement: ast.Statement, parameters: Optional[Sequence[Any]] = None):
+    """Execute an already-parsed statement."""
+    evaluator = ExpressionEvaluator(parameters or ())
+    if isinstance(statement, ast.Select):
+        plan = plan_select(statement)
+        return PlanExecutor(database, evaluator).execute(plan.root)
+    if isinstance(statement, ast.Insert):
+        return _execute_insert(database, statement, evaluator)
+    if isinstance(statement, ast.Update):
+        return _execute_update(database, statement, evaluator)
+    if isinstance(statement, ast.Delete):
+        return _execute_delete(database, statement, evaluator)
+    if isinstance(statement, ast.CreateTable):
+        return _execute_create_table(database, statement)
+    if isinstance(statement, ast.DropTable):
+        return _execute_drop_table(database, statement)
+    raise SqlExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+
+def _execute_insert(database, statement: ast.Insert, evaluator: ExpressionEvaluator) -> int:
+    relation = database.relation(statement.table)
+    columns = list(statement.columns) if statement.columns else relation.attribute_names
+    inserted = 0
+    for value_exprs in statement.rows:
+        if len(value_exprs) != len(columns):
+            raise SqlExecutionError(
+                f"INSERT expects {len(columns)} values, got {len(value_exprs)}"
+            )
+        row = {
+            column: evaluator.evaluate(expr, {})
+            for column, expr in zip(columns, value_exprs)
+        }
+        relation.insert(row)
+        inserted += 1
+    return inserted
+
+
+def _row_env(relation_name: str, tid: int, row: Dict[str, Any]) -> Dict[str, Any]:
+    env = {f"{relation_name}.{column}": value for column, value in row.items()}
+    env.update(row)
+    env[f"{relation_name}.{TID_COLUMN}"] = tid
+    env[TID_COLUMN] = tid
+    return env
+
+
+def _execute_update(database, statement: ast.Update, evaluator: ExpressionEvaluator) -> int:
+    relation = database.relation(statement.table)
+    updated = 0
+    for tid, row in list(relation.rows()):
+        env = _row_env(statement.table, tid, row)
+        if statement.where is not None and evaluator.evaluate(statement.where, env) is not True:
+            continue
+        changes = {
+            column: evaluator.evaluate(expr, env)
+            for column, expr in statement.assignments
+        }
+        relation.update(tid, changes)
+        updated += 1
+    return updated
+
+
+def _execute_delete(database, statement: ast.Delete, evaluator: ExpressionEvaluator) -> int:
+    relation = database.relation(statement.table)
+    deleted = 0
+    for tid, row in list(relation.rows()):
+        env = _row_env(statement.table, tid, row)
+        if statement.where is not None and evaluator.evaluate(statement.where, env) is not True:
+            continue
+        relation.delete(tid)
+        deleted += 1
+    return deleted
+
+
+def _execute_create_table(database, statement: ast.CreateTable):
+    attributes = [
+        AttributeDef(
+            column.name,
+            DataType.from_name(column.type_name),
+            nullable=not column.not_null,
+        )
+        for column in statement.columns
+    ]
+    schema = RelationSchema(
+        name=statement.name, attributes=attributes, key=statement.primary_key
+    )
+    return database.create_relation(schema)
+
+
+def _execute_drop_table(database, statement: ast.DropTable) -> int:
+    if statement.if_exists and not database.has_relation(statement.name):
+        return 0
+    database.drop_relation(statement.name)
+    return 1

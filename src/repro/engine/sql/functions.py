@@ -1,0 +1,126 @@
+"""Scalar and aggregate functions for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ...errors import SqlExecutionError
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _scalar_upper(args: Sequence[Any]) -> Any:
+    value = args[0]
+    return None if value is None else str(value).upper()
+
+
+def _scalar_lower(args: Sequence[Any]) -> Any:
+    value = args[0]
+    return None if value is None else str(value).lower()
+
+
+def _scalar_length(args: Sequence[Any]) -> Any:
+    value = args[0]
+    return None if value is None else len(str(value))
+
+
+def _scalar_abs(args: Sequence[Any]) -> Any:
+    value = args[0]
+    return None if value is None else abs(value)
+
+
+def _scalar_coalesce(args: Sequence[Any]) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _scalar_concat(args: Sequence[Any]) -> Any:
+    return "".join("" if value is None else str(value) for value in args)
+
+
+def _scalar_substr(args: Sequence[Any]) -> Any:
+    if not args or args[0] is None:
+        return None
+    text = str(args[0])
+    start = int(args[1]) if len(args) > 1 and args[1] is not None else 1
+    start_index = max(start - 1, 0)
+    if len(args) > 2 and args[2] is not None:
+        return text[start_index : start_index + int(args[2])]
+    return text[start_index:]
+
+
+def _scalar_trim(args: Sequence[Any]) -> Any:
+    value = args[0]
+    return None if value is None else str(value).strip()
+
+
+def _scalar_nullif(args: Sequence[Any]) -> Any:
+    if len(args) != 2:
+        raise SqlExecutionError("NULLIF expects exactly two arguments")
+    return None if args[0] == args[1] else args[0]
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "upper": _scalar_upper,
+    "lower": _scalar_lower,
+    "length": _scalar_length,
+    "abs": _scalar_abs,
+    "coalesce": _scalar_coalesce,
+    "concat": _scalar_concat,
+    "substr": _scalar_substr,
+    "substring": _scalar_substr,
+    "trim": _scalar_trim,
+    "nullif": _scalar_nullif,
+}
+
+
+def call_scalar(name: str, args: Sequence[Any]) -> Any:
+    """Invoke scalar function ``name`` on already-evaluated ``args``."""
+    lowered = name.lower()
+    if lowered not in SCALAR_FUNCTIONS:
+        raise SqlExecutionError(f"unknown function {name!r}")
+    return SCALAR_FUNCTIONS[lowered](args)
+
+
+def is_scalar_function(name: str) -> bool:
+    """Return whether ``name`` is a known scalar function."""
+    return name.lower() in SCALAR_FUNCTIONS
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+
+def aggregate(name: str, values: Iterable[Any], distinct: bool = False) -> Any:
+    """Compute the aggregate ``name`` over ``values`` (NULLs are skipped).
+
+    ``COUNT`` counts non-NULL values; the caller handles ``COUNT(*)`` by
+    passing a sentinel per row.
+    """
+    lowered = name.lower()
+    collected: List[Any] = [v for v in values if v is not None]
+    if distinct:
+        seen: List[Any] = []
+        for value in collected:
+            if value not in seen:
+                seen.append(value)
+        collected = seen
+    if lowered == "count":
+        return len(collected)
+    if not collected:
+        return None
+    if lowered == "sum":
+        return sum(collected)
+    if lowered == "avg":
+        return sum(collected) / len(collected)
+    if lowered == "min":
+        return min(collected)
+    if lowered == "max":
+        return max(collected)
+    raise SqlExecutionError(f"unknown aggregate function {name!r}")

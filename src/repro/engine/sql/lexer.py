@@ -1,0 +1,161 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...errors import SqlLexError
+
+KEYWORDS = {
+    "select",
+    "distinct",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "order",
+    "asc",
+    "desc",
+    "limit",
+    "as",
+    "and",
+    "or",
+    "not",
+    "null",
+    "true",
+    "false",
+    "is",
+    "in",
+    "like",
+    "join",
+    "inner",
+    "on",
+    "insert",
+    "into",
+    "values",
+    "update",
+    "set",
+    "delete",
+    "create",
+    "drop",
+    "table",
+    "primary",
+    "key",
+    "if",
+    "exists",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+}
+
+OPERATOR_CHARS = "=<>!+-*/%(),.?;"
+
+TWO_CHAR_OPERATORS = {"<>", "!=", "<=", ">=", "||"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: str  # 'keyword' | 'identifier' | 'string' | 'number' | 'operator' | 'eof'
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_operator(self, *symbols: str) -> bool:
+        return self.kind == "operator" and self.value in symbols
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenise ``sql`` into a list of :class:`Token`, ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # comments: -- to end of line
+        if ch == "-" and i + 1 < length and sql[i + 1] == "-":
+            newline = sql.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        # string literal
+        if ch == "'":
+            start = i
+            i += 1
+            parts: List[str] = []
+            while True:
+                if i >= length:
+                    raise SqlLexError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < length and sql[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(sql[i])
+                i += 1
+            tokens.append(Token("string", "".join(parts), start))
+            continue
+        # quoted identifier
+        if ch == '"':
+            start = i
+            i += 1
+            parts = []
+            while i < length and sql[i] != '"':
+                parts.append(sql[i])
+                i += 1
+            if i >= length:
+                raise SqlLexError("unterminated quoted identifier", start)
+            i += 1
+            tokens.append(Token("identifier", "".join(parts), start))
+            continue
+        # number
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            start = i
+            while i < length and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            # allow exponents
+            if i < length and sql[i] in "eE":
+                j = i + 1
+                if j < length and sql[j] in "+-":
+                    j += 1
+                if j < length and sql[j].isdigit():
+                    i = j
+                    while i < length and sql[i].isdigit():
+                        i += 1
+            tokens.append(Token("number", sql[start:i], start))
+            continue
+        # identifier or keyword
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, start))
+            else:
+                tokens.append(Token("identifier", word, start))
+            continue
+        # two-character operators
+        if i + 1 < length and sql[i : i + 2] in TWO_CHAR_OPERATORS:
+            tokens.append(Token("operator", sql[i : i + 2], i))
+            i += 2
+            continue
+        if ch in OPERATOR_CHARS or ch == "|":
+            tokens.append(Token("operator", ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", length))
+    return tokens

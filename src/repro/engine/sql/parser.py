@@ -1,0 +1,475 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import SqlParseError
+from . import ast
+from .lexer import Token, tokenize
+
+
+class Parser:
+    """Parses a token stream into a single :class:`~repro.engine.sql.ast.Statement`."""
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens: List[Token] = tokenize(sql)
+        self.pos = 0
+        self._parameter_count = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*names):
+            raise SqlParseError(
+                f"expected {' or '.join(names).upper()} but found {token.value!r} "
+                f"at position {token.position}"
+            )
+        return self.advance()
+
+    def expect_operator(self, symbol: str) -> Token:
+        token = self.peek()
+        if not token.is_operator(symbol):
+            raise SqlParseError(
+                f"expected {symbol!r} but found {token.value!r} at position {token.position}"
+            )
+        return self.advance()
+
+    def expect_identifier(self) -> Token:
+        token = self.peek()
+        if token.kind != "identifier":
+            raise SqlParseError(
+                f"expected an identifier but found {token.value!r} at position {token.position}"
+            )
+        return self.advance()
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def accept_operator(self, symbol: str) -> Optional[Token]:
+        if self.peek().is_operator(symbol):
+            return self.advance()
+        return None
+
+    # -- entry point -----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        """Parse exactly one statement (a trailing ``;`` is allowed)."""
+        token = self.peek()
+        if token.is_keyword("select"):
+            statement: ast.Statement = self.parse_select()
+        elif token.is_keyword("insert"):
+            statement = self.parse_insert()
+        elif token.is_keyword("update"):
+            statement = self.parse_update()
+        elif token.is_keyword("delete"):
+            statement = self.parse_delete()
+        elif token.is_keyword("create"):
+            statement = self.parse_create_table()
+        elif token.is_keyword("drop"):
+            statement = self.parse_drop_table()
+        else:
+            raise SqlParseError(f"unsupported statement starting with {token.value!r}")
+        self.accept_operator(";")
+        if self.peek().kind != "eof":
+            trailing = self.peek()
+            raise SqlParseError(
+                f"unexpected trailing input {trailing.value!r} at position {trailing.position}"
+            )
+        return statement
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def parse_select(self) -> ast.Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct") is not None
+        items = self.parse_select_items()
+        from_tables: Tuple[ast.TableRef, ...] = ()
+        joins: List[ast.Join] = []
+        if self.accept_keyword("from"):
+            from_tables, joins = self.parse_from_clause()
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+        group_by: Tuple[ast.Expression, ...] = ()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by = tuple(self.parse_expression_list())
+        having = None
+        if self.accept_keyword("having"):
+            having = self.parse_expression()
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by = self.parse_order_items()
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.peek()
+            if token.kind != "number":
+                raise SqlParseError("LIMIT expects an integer literal")
+            self.advance()
+            limit = int(float(token.value))
+        return ast.Select(
+            items=tuple(items),
+            from_tables=from_tables,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_select_items(self) -> List[ast.SelectItem]:
+        items = [self.parse_select_item()]
+        while self.accept_operator(","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self) -> ast.SelectItem:
+        token = self.peek()
+        # bare * or alias.*
+        if token.is_operator("*"):
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        if (
+            token.kind == "identifier"
+            and self.peek(1).is_operator(".")
+            and self.peek(2).is_operator("*")
+        ):
+            table = self.advance().value
+            self.advance()
+            self.advance()
+            return ast.SelectItem(ast.Star(table=table))
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier().value
+        elif self.peek().kind == "identifier":
+            alias = self.advance().value
+        return ast.SelectItem(expression, alias)
+
+    def parse_from_clause(self) -> Tuple[Tuple[ast.TableRef, ...], List[ast.Join]]:
+        tables = [self.parse_table_ref()]
+        joins: List[ast.Join] = []
+        while True:
+            if self.accept_operator(","):
+                tables.append(self.parse_table_ref())
+                continue
+            if self.peek().is_keyword("inner") or self.peek().is_keyword("join"):
+                self.accept_keyword("inner")
+                self.expect_keyword("join")
+                table = self.parse_table_ref()
+                self.expect_keyword("on")
+                condition = self.parse_expression()
+                joins.append(ast.Join(table=table, condition=condition))
+                continue
+            break
+        return tuple(tables), joins
+
+    def parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_identifier().value
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier().value
+        elif self.peek().kind == "identifier":
+            alias = self.advance().value
+        return ast.TableRef(name=name, alias=alias)
+
+    def parse_order_items(self) -> List[ast.OrderItem]:
+        items = []
+        while True:
+            expression = self.parse_expression()
+            ascending = True
+            if self.accept_keyword("asc"):
+                ascending = True
+            elif self.accept_keyword("desc"):
+                ascending = False
+            items.append(ast.OrderItem(expression, ascending))
+            if not self.accept_operator(","):
+                break
+        return items
+
+    def parse_expression_list(self) -> List[ast.Expression]:
+        expressions = [self.parse_expression()]
+        while self.accept_operator(","):
+            expressions.append(self.parse_expression())
+        return expressions
+
+    # -- DML -----------------------------------------------------------------------
+
+    def parse_insert(self) -> ast.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_identifier().value
+        columns: List[str] = []
+        if self.accept_operator("("):
+            columns.append(self.expect_identifier().value)
+            while self.accept_operator(","):
+                columns.append(self.expect_identifier().value)
+            self.expect_operator(")")
+        self.expect_keyword("values")
+        rows: List[Tuple[ast.Expression, ...]] = []
+        while True:
+            self.expect_operator("(")
+            values = [self.parse_expression()]
+            while self.accept_operator(","):
+                values.append(self.parse_expression())
+            self.expect_operator(")")
+            rows.append(tuple(values))
+            if not self.accept_operator(","):
+                break
+        return ast.Insert(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    def parse_update(self) -> ast.Update:
+        self.expect_keyword("update")
+        table = self.expect_identifier().value
+        self.expect_keyword("set")
+        assignments: List[Tuple[str, ast.Expression]] = []
+        while True:
+            column = self.expect_identifier().value
+            self.expect_operator("=")
+            assignments.append((column, self.parse_expression()))
+            if not self.accept_operator(","):
+                break
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def parse_delete(self) -> ast.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_identifier().value
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expression()
+        return ast.Delete(table=table, where=where)
+
+    def parse_create_table(self) -> ast.CreateTable:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        name = self.expect_identifier().value
+        self.expect_operator("(")
+        columns: List[ast.ColumnDef] = []
+        primary_key: Tuple[str, ...] = ()
+        while True:
+            if self.peek().is_keyword("primary"):
+                self.advance()
+                self.expect_keyword("key")
+                self.expect_operator("(")
+                keys = [self.expect_identifier().value]
+                while self.accept_operator(","):
+                    keys.append(self.expect_identifier().value)
+                self.expect_operator(")")
+                primary_key = tuple(keys)
+            else:
+                col_name = self.expect_identifier().value
+                type_token = self.peek()
+                if type_token.kind not in ("identifier", "keyword"):
+                    raise SqlParseError(f"expected a type name after column {col_name!r}")
+                self.advance()
+                not_null = False
+                if self.accept_keyword("not"):
+                    self.expect_keyword("null")
+                    not_null = True
+                columns.append(ast.ColumnDef(col_name, type_token.value, not_null))
+            if not self.accept_operator(","):
+                break
+        self.expect_operator(")")
+        return ast.CreateTable(name=name, columns=tuple(columns), primary_key=primary_key)
+
+    def parse_drop_table(self) -> ast.DropTable:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        if_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("exists")
+            if_exists = True
+        name = self.expect_identifier().value
+        return ast.DropTable(name=name, if_exists=if_exists)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expression:
+        left = self.parse_and()
+        while self.accept_keyword("or"):
+            right = self.parse_and()
+            left = ast.BinaryOp("or", left, right)
+        return left
+
+    def parse_and(self) -> ast.Expression:
+        left = self.parse_not()
+        while self.accept_keyword("and"):
+            right = self.parse_not()
+            left = ast.BinaryOp("and", left, right)
+        return left
+
+    def parse_not(self) -> ast.Expression:
+        if self.accept_keyword("not"):
+            return ast.UnaryOp("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Expression:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.is_operator("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            right = self.parse_additive()
+            return ast.BinaryOp(op, left, right)
+        if token.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not") is not None
+            self.expect_keyword("null")
+            return ast.IsNull(left, negated=negated)
+        negated = False
+        if token.is_keyword("not") and self.peek(1).is_keyword("in", "like"):
+            self.advance()
+            negated = True
+            token = self.peek()
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect_operator("(")
+            items = [self.parse_expression()]
+            while self.accept_operator(","):
+                items.append(self.parse_expression())
+            self.expect_operator(")")
+            return ast.InList(left, tuple(items), negated=negated)
+        if token.is_keyword("like"):
+            self.advance()
+            pattern = self.parse_additive()
+            return ast.Like(left, pattern, negated=negated)
+        return left
+
+    def parse_additive(self) -> ast.Expression:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.is_operator("+", "-", "||"):
+                op = self.advance().value
+                right = self.parse_multiplicative()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                return left
+
+    def parse_multiplicative(self) -> ast.Expression:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.is_operator("*", "/", "%"):
+                op = self.advance().value
+                right = self.parse_unary()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                return left
+
+    def parse_unary(self) -> ast.Expression:
+        token = self.peek()
+        if token.is_operator("-"):
+            self.advance()
+            return ast.UnaryOp("-", self.parse_unary())
+        if token.is_operator("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.Expression:
+        token = self.peek()
+        if token.is_operator("("):
+            self.advance()
+            expression = self.parse_expression()
+            self.expect_operator(")")
+            return expression
+        if token.is_operator("?"):
+            self.advance()
+            parameter = ast.Parameter(self._parameter_count)
+            self._parameter_count += 1
+            return parameter
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return ast.Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("null"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("case"):
+            return self.parse_case()
+        if token.kind == "identifier":
+            return self.parse_identifier_expression()
+        raise SqlParseError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+    def parse_case(self) -> ast.Expression:
+        self.expect_keyword("case")
+        whens: List[Tuple[ast.Expression, ast.Expression]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expression()
+            self.expect_keyword("then")
+            value = self.parse_expression()
+            whens.append((condition, value))
+        else_value = None
+        if self.accept_keyword("else"):
+            else_value = self.parse_expression()
+        self.expect_keyword("end")
+        if not whens:
+            raise SqlParseError("CASE requires at least one WHEN branch")
+        return ast.CaseWhen(tuple(whens), else_value)
+
+    def parse_identifier_expression(self) -> ast.Expression:
+        name = self.expect_identifier().value
+        # function call
+        if self.peek().is_operator("("):
+            self.advance()
+            distinct = self.accept_keyword("distinct") is not None
+            args: List[ast.Expression] = []
+            if self.peek().is_operator("*"):
+                self.advance()
+                args.append(ast.Star())
+            elif not self.peek().is_operator(")"):
+                args.append(self.parse_expression())
+                while self.accept_operator(","):
+                    args.append(self.parse_expression())
+            self.expect_operator(")")
+            return ast.FunctionCall(name=name, args=tuple(args), distinct=distinct)
+        # qualified column
+        if self.peek().is_operator("."):
+            self.advance()
+            column = self.expect_identifier().value
+            return ast.ColumnRef(name=column, table=name)
+        return ast.ColumnRef(name=name)
+
+
+def parse_sql(sql: str) -> ast.Statement:
+    """Parse ``sql`` into a statement AST."""
+    return Parser(sql).parse_statement()

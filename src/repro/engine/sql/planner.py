@@ -1,0 +1,216 @@
+"""Logical query plans for SELECT statements.
+
+The planner converts a parsed :class:`~repro.engine.sql.ast.Select` into a
+small tree of plan nodes (scan → join → filter → aggregate → project →
+distinct → sort → limit).  Plans are deliberately simple: the detection
+queries generated from CFDs are cross joins against tiny pattern tableaux
+followed by filters and group-bys, which this pipeline executes efficiently
+once the filter touches the base-relation hash indexes created lazily by the
+executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ...errors import SqlPlanError
+from . import ast
+
+
+class PlanNode:
+    """Base class of all logical plan nodes."""
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan a base relation under a binding name; exposes a ``_tid`` column."""
+
+    relation: str
+    binding: str
+
+
+@dataclass
+class CrossJoinNode(PlanNode):
+    """Cartesian product of two inputs (filters are applied above)."""
+
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """Keep rows for which the predicate evaluates to true."""
+
+    child: PlanNode
+    predicate: ast.Expression
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Group rows and evaluate aggregate select items / HAVING."""
+
+    child: PlanNode
+    group_by: Tuple[ast.Expression, ...]
+    items: Tuple[ast.SelectItem, ...]
+    having: Optional[ast.Expression]
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Evaluate the select list for each input row."""
+
+    child: PlanNode
+    items: Tuple[ast.SelectItem, ...]
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    """Remove duplicate output rows."""
+
+    child: PlanNode
+
+
+@dataclass
+class SortNode(PlanNode):
+    """Order rows by ORDER BY keys.
+
+    For non-aggregate queries the sort runs *below* the projection so ORDER BY
+    can reference source columns; ``items`` carries the select list so ORDER BY
+    can also reference output aliases.
+    """
+
+    child: PlanNode
+    keys: Tuple[ast.OrderItem, ...]
+    items: Tuple[ast.SelectItem, ...] = ()
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """Truncate output to the first N rows."""
+
+    child: PlanNode
+    limit: int
+
+
+@dataclass
+class PlannedSelect:
+    """The complete plan for one SELECT statement."""
+
+    root: PlanNode
+    select: ast.Select
+
+
+def _conjuncts(expression: Optional[ast.Expression]) -> List[ast.Expression]:
+    """Split a predicate into its top-level AND conjuncts."""
+    if expression is None:
+        return []
+    if isinstance(expression, ast.BinaryOp) and expression.op == "and":
+        return _conjuncts(expression.left) + _conjuncts(expression.right)
+    return [expression]
+
+
+def _combine(conjuncts: List[ast.Expression]) -> Optional[ast.Expression]:
+    """Re-assemble conjuncts into a single AND expression."""
+    if not conjuncts:
+        return None
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = ast.BinaryOp("and", combined, conjunct)
+    return combined
+
+
+def plan_select(select: ast.Select) -> PlannedSelect:
+    """Build a logical plan for ``select``."""
+    if not select.from_tables and not select.joins:
+        # SELECT without FROM: evaluated over a single empty row.
+        source: PlanNode = ScanNode(relation="", binding="")
+    else:
+        bindings = set()
+        scans: List[PlanNode] = []
+        for table in select.from_tables:
+            if table.binding in bindings:
+                raise SqlPlanError(f"duplicate table binding {table.binding!r}")
+            bindings.add(table.binding)
+            scans.append(ScanNode(relation=table.name, binding=table.binding))
+        source = scans[0]
+        for scan in scans[1:]:
+            source = CrossJoinNode(source, scan)
+        for join in select.joins:
+            if join.table.binding in bindings:
+                raise SqlPlanError(f"duplicate table binding {join.table.binding!r}")
+            bindings.add(join.table.binding)
+            source = CrossJoinNode(
+                source, ScanNode(relation=join.table.name, binding=join.table.binding)
+            )
+            source = FilterNode(source, join.condition)
+
+    where_conjuncts = _conjuncts(select.where)
+    where = _combine(where_conjuncts)
+    if where is not None:
+        source = FilterNode(source, where)
+
+    has_aggregates = bool(select.group_by) or any(
+        ast.contains_aggregate(item.expression) for item in select.items
+    )
+    if select.having is not None and not has_aggregates:
+        raise SqlPlanError("HAVING requires GROUP BY or aggregate select items")
+
+    if has_aggregates:
+        source = AggregateNode(
+            child=source,
+            group_by=select.group_by,
+            items=select.items,
+            having=select.having,
+        )
+        if select.order_by:
+            source = SortNode(source, select.order_by)
+    else:
+        # Sort below the projection so ORDER BY can use source columns; the
+        # select items are passed along so aliases also resolve.
+        if select.order_by:
+            source = SortNode(source, select.order_by, items=select.items)
+        source = ProjectNode(child=source, items=select.items)
+
+    if select.distinct:
+        source = DistinctNode(source)
+    if select.limit is not None:
+        source = LimitNode(source, select.limit)
+    return PlannedSelect(root=source, select=select)
+
+
+def explain(plan: PlannedSelect) -> str:
+    """Return a human-readable, indented rendering of the plan tree."""
+    lines: List[str] = []
+
+    def visit(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        if isinstance(node, ScanNode):
+            lines.append(f"{indent}Scan {node.relation or '<dual>'} AS {node.binding or '-'}")
+        elif isinstance(node, CrossJoinNode):
+            lines.append(f"{indent}CrossJoin")
+            visit(node.left, depth + 1)
+            visit(node.right, depth + 1)
+        elif isinstance(node, FilterNode):
+            lines.append(f"{indent}Filter")
+            visit(node.child, depth + 1)
+        elif isinstance(node, AggregateNode):
+            lines.append(f"{indent}Aggregate group_by={len(node.group_by)}")
+            visit(node.child, depth + 1)
+        elif isinstance(node, ProjectNode):
+            lines.append(f"{indent}Project items={len(node.items)}")
+            visit(node.child, depth + 1)
+        elif isinstance(node, DistinctNode):
+            lines.append(f"{indent}Distinct")
+            visit(node.child, depth + 1)
+        elif isinstance(node, SortNode):
+            lines.append(f"{indent}Sort keys={len(node.keys)}")
+            visit(node.child, depth + 1)
+        elif isinstance(node, LimitNode):
+            lines.append(f"{indent}Limit {node.limit}")
+            visit(node.child, depth + 1)
+        else:  # pragma: no cover - defensive
+            lines.append(f"{indent}{type(node).__name__}")
+
+    visit(plan.root, 0)
+    return "\n".join(lines)

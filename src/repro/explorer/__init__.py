@@ -1,0 +1,36 @@
+"""The data explorer: drill-down navigation and text rendering of quality views."""
+
+from .navigation import (
+    CfdSummary,
+    DataExplorer,
+    LhsMatch,
+    PatternSummary,
+    RhsValue,
+)
+from .rendering import (
+    render_bar_chart,
+    render_pie_chart,
+    render_quality_map,
+    render_quality_report,
+    render_relation,
+    render_repair_diff,
+    render_table,
+)
+from .session import Breadcrumb, ExplorationSession
+
+__all__ = [
+    "DataExplorer",
+    "CfdSummary",
+    "PatternSummary",
+    "LhsMatch",
+    "RhsValue",
+    "ExplorationSession",
+    "Breadcrumb",
+    "render_table",
+    "render_relation",
+    "render_bar_chart",
+    "render_pie_chart",
+    "render_quality_map",
+    "render_quality_report",
+    "render_repair_diff",
+]

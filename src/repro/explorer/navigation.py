@@ -1,0 +1,240 @@
+"""Data exploration: the drill-down navigation of the paper's Fig. 2.
+
+The data explorer lets users explore *data by means of CFDs* — select an
+embedded FD, then one of its pattern tuples, then one of the LHS value
+combinations matching that pattern, then one of the distinct RHS values, and
+finally the tuples themselves — and, in the other direction, explore *CFDs
+by means of the data*: pick a tuple and see every CFD and pattern tuple
+relevant to it and why it is considered a violation.  At every step the
+number of violating tuples is reported to guide the navigation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.cfd import CFD
+from ..core.pattern import PatternTuple
+from ..detection.violations import Violation, ViolationReport
+from ..engine.relation import Relation
+from ..errors import ExplorerError
+
+
+@dataclass(frozen=True)
+class CfdSummary:
+    """One row of the explorer's CFD list (left table of Fig. 2)."""
+
+    cfd_id: str
+    lhs: Tuple[str, ...]
+    rhs: Tuple[str, ...]
+    pattern_count: int
+    violating_tuples: int
+
+
+@dataclass(frozen=True)
+class PatternSummary:
+    """One pattern tuple of a CFD, with its violation count (second table of Fig. 2)."""
+
+    cfd_id: str
+    pattern_index: int
+    rendered: Dict[str, str]
+    violating_tuples: int
+
+
+@dataclass(frozen=True)
+class LhsMatch:
+    """One distinct LHS value combination matching a pattern (third table of Fig. 2)."""
+
+    lhs_values: Tuple[Any, ...]
+    tuple_count: int
+    violating_tuples: int
+
+
+@dataclass(frozen=True)
+class RhsValue:
+    """One distinct RHS value for a selected LHS combination (fourth table of Fig. 2)."""
+
+    value: Any
+    tuple_count: int
+    violating_tuples: int
+
+
+class DataExplorer:
+    """Programmatic drill-down over a relation, its CFDs and a violation report."""
+
+    def __init__(self, relation: Relation, cfds: Sequence[CFD], report: ViolationReport):
+        self.relation = relation
+        self.cfds = list(cfds)
+        self.report = report
+        self._by_id: Dict[str, CFD] = {cfd.identifier: cfd for cfd in self.cfds}
+        #: tids involved in a violation, per CFD id
+        self._dirty_by_cfd: Dict[str, Set[int]] = defaultdict(set)
+        for violation in report.violations:
+            self._dirty_by_cfd[violation.cfd_id].update(violation.tids)
+
+    # -- exploring data by means of CFDs -------------------------------------------------
+
+    def list_cfds(self) -> List[CfdSummary]:
+        """The explorer's CFD list with per-CFD violation counts."""
+        summaries = []
+        for cfd in self.cfds:
+            summaries.append(
+                CfdSummary(
+                    cfd_id=cfd.identifier,
+                    lhs=cfd.lhs,
+                    rhs=cfd.rhs,
+                    pattern_count=len(cfd.patterns),
+                    violating_tuples=len(self._dirty_by_cfd.get(cfd.identifier, set())),
+                )
+            )
+        return summaries
+
+    def patterns_for(self, cfd_id: str) -> List[PatternSummary]:
+        """The pattern tuples of one CFD, each with its violating-tuple count."""
+        cfd = self._cfd(cfd_id)
+        dirty = self._dirty_by_cfd.get(cfd_id, set())
+        summaries = []
+        for index, pattern in enumerate(cfd.patterns):
+            matching_dirty = {
+                tid
+                for tid in dirty
+                if tid in self.relation
+                and cfd.applies_to(self.relation.get(tid), pattern)
+            }
+            summaries.append(
+                PatternSummary(
+                    cfd_id=cfd_id,
+                    pattern_index=index,
+                    rendered={attr: str(pattern.value(attr)) for attr in cfd.attributes},
+                    violating_tuples=len(matching_dirty),
+                )
+            )
+        return summaries
+
+    def lhs_matches(self, cfd_id: str, pattern_index: int) -> List[LhsMatch]:
+        """Distinct LHS value combinations of tuples matching the selected pattern."""
+        cfd = self._cfd(cfd_id)
+        pattern = self._pattern(cfd, pattern_index)
+        dirty = self._dirty_by_cfd.get(cfd_id, set())
+        groups: Dict[Tuple[Any, ...], List[int]] = defaultdict(list)
+        for tid, row in self.relation.rows():
+            if not cfd.applies_to(row, pattern):
+                continue
+            groups[tuple(row.get(attr) for attr in cfd.lhs)].append(tid)
+        matches = [
+            LhsMatch(
+                lhs_values=key,
+                tuple_count=len(tids),
+                violating_tuples=len(set(tids) & dirty),
+            )
+            for key, tids in groups.items()
+        ]
+        matches.sort(key=lambda match: (-match.violating_tuples, str(match.lhs_values)))
+        return matches
+
+    def rhs_values(
+        self, cfd_id: str, pattern_index: int, lhs_values: Sequence[Any]
+    ) -> List[RhsValue]:
+        """Distinct RHS values among the tuples with the selected LHS values."""
+        cfd = self._cfd(cfd_id)
+        pattern = self._pattern(cfd, pattern_index)
+        dirty = self._dirty_by_cfd.get(cfd_id, set())
+        rhs_attribute = cfd.rhs[0]
+        counts: Dict[Any, List[int]] = defaultdict(list)
+        for tid, row in self.relation.rows():
+            if not cfd.applies_to(row, pattern):
+                continue
+            if tuple(row.get(attr) for attr in cfd.lhs) != tuple(lhs_values):
+                continue
+            counts[row.get(rhs_attribute)].append(tid)
+        values = [
+            RhsValue(
+                value=value,
+                tuple_count=len(tids),
+                violating_tuples=len(set(tids) & dirty),
+            )
+            for value, tids in counts.items()
+        ]
+        values.sort(key=lambda entry: (-entry.tuple_count, str(entry.value)))
+        return values
+
+    def tuples_for(
+        self,
+        cfd_id: str,
+        pattern_index: int,
+        lhs_values: Sequence[Any],
+        rhs_value: Optional[Any] = None,
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """The tuples behind a selected LHS combination (optionally filtered by RHS value)."""
+        cfd = self._cfd(cfd_id)
+        pattern = self._pattern(cfd, pattern_index)
+        rhs_attribute = cfd.rhs[0]
+        rows: List[Tuple[int, Dict[str, Any]]] = []
+        for tid, row in self.relation.rows():
+            if not cfd.applies_to(row, pattern):
+                continue
+            if tuple(row.get(attr) for attr in cfd.lhs) != tuple(lhs_values):
+                continue
+            if rhs_value is not None and row.get(rhs_attribute) != rhs_value:
+                continue
+            rows.append((tid, row))
+        return rows
+
+    # -- exploring CFDs by means of the data -----------------------------------------------
+
+    def explain_tuple(self, tid: int) -> Dict[str, Any]:
+        """Everything the explorer shows about one tuple.
+
+        Returns the tuple's values, its ``vio(t)``, the violations it is
+        involved in, and — for every CFD — whether the CFD applies to the
+        tuple and which pattern tuples are relevant.  This is the information
+        a user needs to understand why the tuple is regarded as a violation
+        and to correct it manually.
+        """
+        if tid not in self.relation:
+            raise ExplorerError(f"tuple {tid} does not exist")
+        row = self.relation.get(tid)
+        relevant: List[Dict[str, Any]] = []
+        for cfd in self.cfds:
+            applicable_patterns = [
+                index
+                for index, pattern in enumerate(cfd.patterns)
+                if cfd.applies_to(row, pattern)
+            ]
+            if applicable_patterns:
+                relevant.append(
+                    {
+                        "cfd": cfd.identifier,
+                        "patterns": applicable_patterns,
+                        "violated": tid in self._dirty_by_cfd.get(cfd.identifier, set()),
+                    }
+                )
+        return {
+            "tid": tid,
+            "row": row,
+            "vio": self.report.vio_of(tid),
+            "violations": [v.to_dict() for v in self.report.violations_for(tid)],
+            "relevant_cfds": relevant,
+        }
+
+    def dirtiest_tuples(self, top: int = 10) -> List[Tuple[int, int]]:
+        """The ``top`` tuples by ``vio(t)`` — the entry point for focused review."""
+        vio = self.report.vio()
+        ranked = sorted(vio.items(), key=lambda pair: (-pair[1], pair[0]))
+        return [(tid, count) for tid, count in ranked if count > 0][:top]
+
+    # -- internal -----------------------------------------------------------------------------
+
+    def _cfd(self, cfd_id: str) -> CFD:
+        if cfd_id not in self._by_id:
+            raise ExplorerError(f"unknown CFD {cfd_id!r}")
+        return self._by_id[cfd_id]
+
+    def _pattern(self, cfd: CFD, pattern_index: int) -> PatternTuple:
+        if not 0 <= pattern_index < len(cfd.patterns):
+            raise ExplorerError(
+                f"CFD {cfd.identifier} has no pattern #{pattern_index}"
+            )
+        return cfd.patterns[pattern_index]

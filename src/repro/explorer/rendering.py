@@ -1,0 +1,176 @@
+"""Text rendering of explorer views.
+
+The paper's data explorer is a rich web UI; the library equivalent renders
+the same views — data tables, the tuple-level quality map, the per-attribute
+bar chart, the violation pie chart, and the repair diff — as plain text so
+they can be printed from scripts, notebooks and the benchmark harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..audit.metrics import Cleanliness
+from ..audit.quality_map import QualityMap
+from ..audit.report import DataQualityReport
+from ..engine.relation import Relation
+from ..repair.repairer import Repair
+
+#: Characters used for quality-map shading, from clean to dirtiest.
+SHADE_CHARS = (".", "░", "▒", "▓", "█")
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    max_rows: Optional[int] = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    rows = list(rows)
+    if max_rows is not None:
+        rows = rows[:max_rows]
+    if columns is None:
+        columns = list(rows[0].keys()) if rows else []
+    widths = {column: len(str(column)) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [("" if row.get(column) is None else str(row.get(column))) for column in columns]
+        rendered_rows.append(rendered)
+        for column, text in zip(columns, rendered):
+            widths[column] = max(widths[column], len(text))
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines = [header, separator]
+    for rendered in rendered_rows:
+        lines.append(
+            " | ".join(text.ljust(widths[column]) for column, text in zip(columns, rendered))
+        )
+    return "\n".join(lines)
+
+
+def render_relation(relation: Relation, max_rows: int = 20) -> str:
+    """Render a relation (with tuple ids) as a text table."""
+    rows = []
+    for tid, row in relation.rows():
+        entry = {"tid": tid}
+        entry.update(row)
+        rows.append(entry)
+        if len(rows) >= max_rows:
+            break
+    return render_table(rows, columns=["tid"] + relation.attribute_names)
+
+
+def render_bar_chart(
+    data: Mapping[str, float], width: int = 40, suffix: str = "%"
+) -> str:
+    """Render a horizontal bar chart from label -> value (0..100 by default)."""
+    if not data:
+        return "(no data)"
+    label_width = max(len(str(label)) for label in data)
+    maximum = max(data.values()) or 1.0
+    lines = []
+    for label, value in data.items():
+        bar = "#" * int(round(width * value / maximum)) if maximum else ""
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.1f}{suffix}")
+    return "\n".join(lines)
+
+
+def render_pie_chart(data: Mapping[str, int]) -> str:
+    """Render pie-chart data as labelled counts with percentages."""
+    total = sum(data.values()) or 1
+    label_width = max((len(str(label)) for label in data), default=0)
+    lines = []
+    for label, count in data.items():
+        lines.append(
+            f"{str(label).ljust(label_width)} : {count:6d}  ({100.0 * count / total:5.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def render_quality_map(
+    relation: Relation, quality_map: QualityMap, max_rows: int = 30
+) -> str:
+    """Render the tuple-level quality map of Fig. 3.
+
+    Each tuple is one line: its shade block, ``vio(t)``, and the row values.
+    The darker the block, the dirtier the tuple.
+    """
+    lines = [f"shade legend: {' '.join(f'{c}={s}' for c, s in zip(SHADE_CHARS, quality_map.shades))}"]
+    count = 0
+    for tid, row in relation.rows():
+        bucket = quality_map.bucket_of(tid)
+        shade = SHADE_CHARS[min(bucket, len(SHADE_CHARS) - 1)]
+        values = ", ".join("" if v is None else str(v) for v in row.values())
+        lines.append(f"{shade * 3} vio={quality_map.vio.get(tid, 0):3d}  t{tid}: {values}")
+        count += 1
+        if count >= max_rows:
+            lines.append(f"... ({len(relation) - max_rows} more tuples)")
+            break
+    return "\n".join(lines)
+
+
+def render_quality_report(report: DataQualityReport) -> str:
+    """Render the data-quality report of Fig. 4 (pie chart + per-attribute bars)."""
+    sections = [
+        f"Data quality report for relation {report.relation!r} "
+        f"({report.tuple_count} tuples, {report.dirty_percentage():.1f}% dirty)",
+        "",
+        "Tuple cleanliness (pie chart):",
+        render_pie_chart(report.pie_chart()),
+        "",
+        "Per-attribute cleanliness (bar chart, % verified clean):",
+    ]
+    verified = {
+        attribute: categories.get(Cleanliness.VERIFIED.value, 0.0)
+        + categories.get(Cleanliness.PROBABLY.value, 0.0)
+        for attribute, categories in report.bar_chart().items()
+    }
+    sections.append(render_bar_chart(verified))
+    sections.append("")
+    sections.append("Violation statistics:")
+    for key, value in sorted(report.statistics.items()):
+        sections.append(f"  {key}: {value:.2f}")
+    worst = report.worst_attributes()
+    if worst:
+        sections.append("")
+        sections.append(
+            "Dirtiest attributes: "
+            + ", ".join(f"{attribute} ({count} dirty cells)" for attribute, count in worst)
+        )
+    return "\n".join(sections)
+
+
+def render_repair_diff(repair: Repair, max_rows: int = 30) -> str:
+    """Render the cleansing review of Fig. 5: original vs repaired values.
+
+    Changed cells are marked with ``*old -> new*`` (the UI's red highlight);
+    each change also lists its top alternative modifications.
+    """
+    lines = [
+        f"Candidate repair: {len(repair.changes)} cells changed in "
+        f"{len(repair.changed_tids())} tuples, total cost {repair.total_cost:.3f}"
+    ]
+    shown = 0
+    for tid in sorted(repair.changed_tids()):
+        original_row = repair.original.get(tid)
+        repaired_row = repair.repaired.get(tid)
+        pieces = []
+        for attribute in repair.original.attribute_names:
+            old = original_row.get(attribute)
+            new = repaired_row.get(attribute)
+            if old != new:
+                pieces.append(f"{attribute}: *{old!r} -> {new!r}*")
+            else:
+                pieces.append(f"{attribute}: {old!r}")
+        lines.append(f"t{tid}: " + ", ".join(pieces))
+        for change in repair.changes_for(tid):
+            if change.alternatives:
+                alternatives = ", ".join(
+                    f"{value!r} (cost {cost:.2f})" for value, cost in change.alternatives[:3]
+                )
+                lines.append(f"    alternatives for {change.attribute}: {alternatives}")
+        shown += 1
+        if shown >= max_rows:
+            lines.append(f"... ({len(repair.changed_tids()) - max_rows} more tuples)")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""The data monitor: update log and incremental detection/repair dispatch."""
+
+from .monitor import DataMonitor
+from .updates import Update, UpdateKind, UpdateLog
+
+__all__ = ["DataMonitor", "Update", "UpdateKind", "UpdateLog"]

@@ -1,0 +1,91 @@
+"""Update operations and the update log consumed by the data monitor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import MonitorError
+
+
+class UpdateKind(enum.Enum):
+    """The three kinds of data updates the monitor handles."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    MODIFY = "modify"
+
+
+@dataclass(frozen=True)
+class Update:
+    """One update to the monitored relation."""
+
+    kind: UpdateKind
+    row: Optional[Mapping[str, Any]] = None
+    tid: Optional[int] = None
+    changes: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is UpdateKind.INSERT and self.row is None:
+            raise MonitorError("INSERT updates need a row")
+        if self.kind is UpdateKind.DELETE and self.tid is None:
+            raise MonitorError("DELETE updates need a tid")
+        if self.kind is UpdateKind.MODIFY and (self.tid is None or not self.changes):
+            raise MonitorError("MODIFY updates need a tid and non-empty changes")
+
+    # -- convenience constructors ---------------------------------------------------
+
+    @classmethod
+    def insert(cls, row: Mapping[str, Any]) -> "Update":
+        """An insertion of ``row``."""
+        return cls(kind=UpdateKind.INSERT, row=dict(row))
+
+    @classmethod
+    def delete(cls, tid: int) -> "Update":
+        """A deletion of tuple ``tid``."""
+        return cls(kind=UpdateKind.DELETE, tid=tid)
+
+    @classmethod
+    def modify(cls, tid: int, changes: Mapping[str, Any]) -> "Update":
+        """A modification of tuple ``tid``."""
+        return cls(kind=UpdateKind.MODIFY, tid=tid, changes=dict(changes))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation."""
+        return {
+            "kind": self.kind.value,
+            "row": dict(self.row) if self.row else None,
+            "tid": self.tid,
+            "changes": dict(self.changes) if self.changes else None,
+        }
+
+
+@dataclass
+class UpdateLog:
+    """An append-only log of updates applied through the monitor."""
+
+    entries: List[Tuple[int, Update, Optional[int]]] = field(default_factory=list)
+    _next_sequence: int = 0
+
+    def append(self, update: Update, tid: Optional[int]) -> int:
+        """Record ``update`` (with the tid it affected) and return its sequence number."""
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        self.entries.append((sequence, update, tid))
+        return sequence
+
+    def since(self, sequence: int) -> List[Tuple[int, Update, Optional[int]]]:
+        """Entries with a sequence number >= ``sequence``."""
+        return [entry for entry in self.entries if entry[0] >= sequence]
+
+    def affected_tids(self) -> List[int]:
+        """Tuple ids touched by any logged update (in order, deduplicated)."""
+        seen: List[int] = []
+        for _sequence, _update, tid in self.entries:
+            if tid is not None and tid not in seen:
+                seen.append(tid)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,31 @@
+"""The data cleanser: cost model, equivalence classes, batch and incremental repair."""
+
+from .cost import CostModel, damerau_levenshtein, normalized_distance, similarity
+from .eqclass import EquivalenceClasses
+from .incremental import IncrementalRepairer, remaining_dirty_tids
+from .repairer import (
+    FRESH_VALUE_PREFIX,
+    BatchRepairer,
+    CellChange,
+    Repair,
+    repair_quality,
+)
+from .review import ConflictNote, RepairReview, ReviewDecision
+
+__all__ = [
+    "CostModel",
+    "damerau_levenshtein",
+    "normalized_distance",
+    "similarity",
+    "EquivalenceClasses",
+    "BatchRepairer",
+    "Repair",
+    "CellChange",
+    "repair_quality",
+    "FRESH_VALUE_PREFIX",
+    "IncrementalRepairer",
+    "remaining_dirty_tids",
+    "RepairReview",
+    "ReviewDecision",
+    "ConflictNote",
+]

@@ -1,0 +1,7 @@
+"""The system facade: configuration, constraint engine and the Semandaq class."""
+
+from .config import SemandaqConfig
+from .constraint_engine import ConstraintEngine
+from .semandaq import Semandaq
+
+__all__ = ["Semandaq", "SemandaqConfig", "ConstraintEngine"]

@@ -1,0 +1,59 @@
+"""Configuration for the Semandaq facade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class SemandaqConfig:
+    """Tuning knobs of the end-to-end system.
+
+    Attributes
+    ----------
+    use_sql_detection:
+        Run detection through generated SQL (the paper's technique).  When
+        false, the native Python detector is used instead (the ablation path).
+    repair_max_iterations:
+        Round limit of the heuristic repair algorithm.
+    audit_majority:
+        Fraction of jointly violating tuples that must agree with a tuple for
+        it to be classified "arguably clean".
+    quality_levels / quality_strategy:
+        Number of shades and bucketing strategy of the data quality map
+        (``"linear"`` or ``"quantile"``).
+    attribute_weights:
+        Default cost-model weights per attribute (higher = more trusted).
+    check_consistency_on_add:
+        Whether the constraint engine verifies satisfiability every time a
+        CFD is registered.
+    """
+
+    use_sql_detection: bool = True
+    repair_max_iterations: int = 25
+    audit_majority: float = 0.5
+    quality_levels: int = 5
+    quality_strategy: str = "linear"
+    attribute_weights: Dict[str, float] = field(default_factory=dict)
+    check_consistency_on_add: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on out-of-range settings."""
+        if self.repair_max_iterations < 1:
+            raise ConfigurationError("repair_max_iterations must be at least 1")
+        if not 0.0 <= self.audit_majority < 1.0:
+            raise ConfigurationError("audit_majority must be in [0, 1)")
+        if self.quality_levels < 2:
+            raise ConfigurationError("quality_levels must be at least 2")
+        if self.quality_strategy not in ("linear", "quantile"):
+            raise ConfigurationError(
+                f"unknown quality_strategy {self.quality_strategy!r}"
+            )
+        for attribute, weight in self.attribute_weights.items():
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"attribute weight for {attribute!r} must be positive"
+                )

@@ -1,0 +1,228 @@
+"""The Semandaq facade: one object wiring every component together.
+
+This is the library counterpart of the paper's "data quality server": it owns
+the database, the constraint engine, the error detector, the data auditor,
+the data cleanser and the data monitor, and exposes the end-to-end workflow
+the demo walks through:
+
+1. connect data (register relations / load CSV);
+2. specify CFDs (textually, as objects, or discovered from reference data);
+3. detect violations (SQL-based);
+4. audit the data quality (classification, quality map, report);
+5. explore (drill-down navigation, per-tuple explanations);
+6. repair, review the candidate repair, and apply it;
+7. monitor subsequent updates with incremental detection / repair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..audit.report import DataAuditor, DataQualityReport
+from ..core.cfd import CFD
+from ..detection.detector import ErrorDetector
+from ..detection.violations import ViolationReport
+from ..engine.csvio import load_csv
+from ..engine.database import Database
+from ..engine.relation import Relation
+from ..engine.types import RelationSchema
+from ..errors import ConfigurationError
+from ..explorer.navigation import DataExplorer
+from ..explorer.session import ExplorationSession
+from ..monitor.monitor import DataMonitor
+from ..repair.cost import CostModel
+from ..repair.repairer import BatchRepairer, Repair
+from ..repair.review import RepairReview
+from .config import SemandaqConfig
+from .constraint_engine import ConstraintEngine
+
+
+class Semandaq:
+    """End-to-end CFD-based data quality system."""
+
+    def __init__(self, config: Optional[SemandaqConfig] = None, database: Optional[Database] = None):
+        self.config = config or SemandaqConfig()
+        self.config.validate()
+        self.database = database or Database()
+        self.constraints = ConstraintEngine(
+            self.database,
+            check_consistency_on_add=self.config.check_consistency_on_add,
+        )
+        self.detector = ErrorDetector(self.database, use_sql=self.config.use_sql_detection)
+        self.auditor = DataAuditor(
+            majority=self.config.audit_majority,
+            quality_levels=self.config.quality_levels,
+            quality_strategy=self.config.quality_strategy,
+        )
+        self.cost_model = CostModel(attribute_weights=dict(self.config.attribute_weights))
+        self._reports: Dict[str, ViolationReport] = {}
+        self._repairs: Dict[str, Repair] = {}
+        self._monitors: Dict[str, DataMonitor] = {}
+
+    # -- step 1: connect data -------------------------------------------------------------
+
+    def register_relation(
+        self,
+        schema_or_relation: Union[RelationSchema, Relation],
+        rows: Optional[Iterable[Mapping[str, Any]]] = None,
+        replace: bool = False,
+    ) -> Relation:
+        """Register a relation (by schema + rows, or an existing Relation object)."""
+        if isinstance(schema_or_relation, Relation):
+            return self.database.add_relation(schema_or_relation, replace=replace)
+        return self.database.create_relation(
+            schema_or_relation, rows=[dict(row) for row in rows or []], replace=replace
+        )
+
+    def load_csv(self, source: str, name: str, **kwargs: Any) -> Relation:
+        """Load a CSV file (or CSV text) and register it under ``name``."""
+        relation = load_csv(source, name, **kwargs)
+        return self.database.add_relation(relation, replace=True)
+
+    def schema_summary(self) -> Dict[str, List[str]]:
+        """The automatically discovered schema shown after connecting."""
+        return self.database.schema_summary()
+
+    # -- step 2: specify constraints ---------------------------------------------------------
+
+    def add_cfd(self, cfd: Union[CFD, str], default_relation: Optional[str] = None) -> CFD:
+        """Register one CFD, given as an object or in the textual syntax."""
+        if isinstance(cfd, str):
+            return self.constraints.add_text(cfd, default_relation=default_relation)
+        return self.constraints.add_cfd(cfd, name=cfd.name)
+
+    def add_cfds(
+        self, cfds: Iterable[Union[CFD, str]], default_relation: Optional[str] = None
+    ) -> List[CFD]:
+        """Register several CFDs."""
+        return [self.add_cfd(cfd, default_relation=default_relation) for cfd in cfds]
+
+    def discover_cfds(self, reference: Relation, register: bool = True, **kwargs: Any) -> List[CFD]:
+        """Discover CFDs from reference data (see :class:`ConstraintEngine.discover_from`)."""
+        return self.constraints.discover_from(reference, register=register, **kwargs)
+
+    def check_constraints(self, relation: Optional[str] = None):
+        """Satisfiability check of the registered CFDs."""
+        return self.constraints.consistency(relation)
+
+    # -- step 3: detect ------------------------------------------------------------------------
+
+    def detect(self, relation_name: str) -> ViolationReport:
+        """Run (SQL-based) violation detection for every CFD on ``relation_name``."""
+        cfds = self.constraints.cfds(relation_name)
+        report = self.detector.detect(relation_name, cfds)
+        self._reports[relation_name] = report
+        return report
+
+    def last_report(self, relation_name: str) -> ViolationReport:
+        """The most recent detection report for ``relation_name`` (detects if missing)."""
+        if relation_name not in self._reports:
+            return self.detect(relation_name)
+        return self._reports[relation_name]
+
+    # -- step 4: audit ----------------------------------------------------------------------------
+
+    def audit(self, relation_name: str) -> DataQualityReport:
+        """Summarise the quality of ``relation_name`` from the latest detection."""
+        relation = self.database.relation(relation_name)
+        report = self.last_report(relation_name)
+        return self.auditor.audit(relation, self.constraints.cfds(relation_name), report)
+
+    # -- step 5: explore --------------------------------------------------------------------------
+
+    def explorer(self, relation_name: str) -> DataExplorer:
+        """A drill-down explorer over the latest detection results."""
+        relation = self.database.relation(relation_name)
+        return DataExplorer(
+            relation, self.constraints.cfds(relation_name), self.last_report(relation_name)
+        )
+
+    def exploration_session(self, relation_name: str) -> ExplorationSession:
+        """A stateful exploration session (the Fig. 2 walk-through)."""
+        relation = self.database.relation(relation_name)
+        return ExplorationSession(
+            relation, self.constraints.cfds(relation_name), self.last_report(relation_name)
+        )
+
+    # -- step 6: repair and review -----------------------------------------------------------------
+
+    def repair(self, relation_name: str, cost_model: Optional[CostModel] = None) -> Repair:
+        """Compute a candidate repair of ``relation_name``."""
+        relation = self.database.relation(relation_name)
+        repairer = BatchRepairer(
+            cost_model=cost_model or self.cost_model,
+            max_iterations=self.config.repair_max_iterations,
+        )
+        repair = repairer.repair(relation, self.constraints.cfds(relation_name))
+        self._repairs[relation_name] = repair
+        return repair
+
+    def review(self, relation_name: str) -> RepairReview:
+        """An interactive review of the latest candidate repair."""
+        if relation_name not in self._repairs:
+            self.repair(relation_name)
+        return RepairReview(
+            self._repairs[relation_name], self.constraints.cfds(relation_name)
+        )
+
+    def apply_repair(self, relation_name: str, reviewed: Optional[Relation] = None) -> Relation:
+        """Replace the stored relation with the repaired (or reviewed) version.
+
+        Also invalidates cached detection reports and switches any monitor of
+        the relation to "cleansed" mode.
+        """
+        if relation_name not in self._repairs and reviewed is None:
+            raise ConfigurationError(
+                f"no candidate repair for {relation_name!r}; call repair() first"
+            )
+        new_relation = reviewed or self._repairs[relation_name].repaired
+        replacement = new_relation.copy()
+        self.database.add_relation(replacement, replace=True)
+        self._reports.pop(relation_name, None)
+        if relation_name in self._monitors:
+            self._monitors[relation_name] = self._make_monitor(relation_name, cleansed=True)
+        return replacement
+
+    # -- step 7: monitor -----------------------------------------------------------------------------
+
+    def monitor(self, relation_name: str, cleansed: Optional[bool] = None) -> DataMonitor:
+        """The data monitor of ``relation_name`` (created on first use)."""
+        if relation_name not in self._monitors:
+            self._monitors[relation_name] = self._make_monitor(
+                relation_name,
+                cleansed=bool(cleansed) if cleansed is not None else relation_name in self._repairs,
+            )
+        elif cleansed is not None:
+            if cleansed:
+                self._monitors[relation_name].mark_cleansed()
+            else:
+                self._monitors[relation_name].mark_dirty()
+        return self._monitors[relation_name]
+
+    def _make_monitor(self, relation_name: str, cleansed: bool) -> DataMonitor:
+        return DataMonitor(
+            self.database,
+            relation_name,
+            self.constraints.cfds(relation_name),
+            cost_model=self.cost_model,
+            cleansed=cleansed,
+        )
+
+    # -- one-shot pipeline ------------------------------------------------------------------------------
+
+    def clean(self, relation_name: str) -> Dict[str, Any]:
+        """Detect → audit → repair → apply, returning a summary of each step."""
+        report = self.detect(relation_name)
+        audit = self.audit(relation_name)
+        repair = self.repair(relation_name)
+        self.apply_repair(relation_name)
+        post_report = self.detect(relation_name)
+        return {
+            "violations_before": report.total_violations(),
+            "dirty_tuples_before": len(report.dirty_tids()),
+            "dirty_percentage_before": audit.dirty_percentage(),
+            "cells_changed": len(repair.changes),
+            "repair_cost": repair.total_cost,
+            "violations_after": post_report.total_violations(),
+            "dirty_tuples_after": len(post_report.dirty_tids()),
+        }

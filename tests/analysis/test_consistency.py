@@ -1,0 +1,105 @@
+"""Tests for CFD consistency (satisfiability) analysis."""
+
+import pytest
+
+from repro.analysis.consistency import (
+    assert_consistent,
+    check_consistency,
+    pairwise_conflicts,
+)
+from repro.core.parser import parse_cfd
+from repro.errors import InconsistentCfdsError
+
+
+def cfds(*texts):
+    return [parse_cfd(text, name=f"c{i}") for i, text in enumerate(texts, start=1)]
+
+
+class TestConsistent:
+    def test_empty_set_is_consistent(self):
+        assert check_consistency([]).consistent
+
+    def test_paper_cfds_are_consistent(self, customer_cfds):
+        result = check_consistency(customer_cfds)
+        assert result.consistent
+        assert result.witness is not None
+
+    def test_plain_fds_always_consistent(self):
+        result = check_consistency(cfds("r: [A=_, B=_] -> [C=_]", "r: [C=_] -> [D=_]"))
+        assert result.consistent
+
+    def test_witness_respects_constants(self):
+        result = check_consistency(cfds("r: [A='x'] -> [B='y']"))
+        assert result.consistent
+        # A witness with A='x' must carry B='y'; a fresh-A witness is also fine.
+        witness = result.witness
+        if witness.get("A") == "x":
+            assert witness.get("B") == "y"
+
+
+class TestInconsistent:
+    def test_contradictory_constants_same_lhs(self):
+        result = check_consistency(
+            cfds("r: [A=_] -> [B='1']", "r: [A=_] -> [B='2']")
+        )
+        assert not result.consistent
+        assert result.conflict and len(result.conflict) == 2
+
+    def test_chain_of_constants_conflict(self):
+        # A='x' forces B='1'; B='1' forces C='1'; but A='x' also forces C='2'.
+        result = check_consistency(
+            cfds(
+                "r: [A='x'] -> [B='1']",
+                "r: [B='1'] -> [C='1']",
+                "r: [A='x'] -> [C='2']",
+            )
+        )
+        # Still consistent: a witness can simply avoid A='x'.
+        assert result.consistent
+
+    def test_wildcard_lhs_makes_chain_unavoidable(self):
+        result = check_consistency(
+            cfds(
+                "r: [A=_] -> [B='1']",
+                "r: [B='1'] -> [C='1']",
+                "r: [A=_] -> [C='2']",
+            )
+        )
+        assert not result.consistent
+
+    def test_finite_domain_inconsistency(self):
+        # With a two-value domain for A, forcing B to differ per A value and
+        # also forcing B to be constant is unsatisfiable.
+        constraint_set = cfds(
+            "r: [A='0'] -> [B='x']",
+            "r: [A='1'] -> [B='x']",
+            "r: [B='x'] -> [A='0']",
+        )
+        # Over an infinite domain this is satisfiable (pick a fresh A).
+        assert check_consistency(constraint_set).consistent
+        # Over the finite domain {0, 1} it is not: every A forces B='x',
+        # and B='x' forces A='0', so A='1' is impossible — but a witness with
+        # A='0' still exists, so the set remains satisfiable.
+        result = check_consistency(constraint_set, finite_domains={"A": ["0", "1"]})
+        assert result.consistent
+
+    def test_assert_consistent_raises(self):
+        with pytest.raises(InconsistentCfdsError):
+            assert_consistent(cfds("r: [A=_] -> [B='1']", "r: [A=_] -> [B='2']"))
+
+    def test_assert_consistent_passes(self, customer_cfds):
+        assert assert_consistent(customer_cfds).consistent
+
+
+class TestPairwiseConflicts:
+    def test_reports_conflicting_pairs_only(self):
+        constraint_set = cfds(
+            "r: [A=_] -> [B='1']",
+            "r: [A=_] -> [B='2']",
+            "r: [C=_] -> [D=_]",
+        )
+        conflicts = pairwise_conflicts(constraint_set)
+        assert conflicts == [("c1", "c2")]
+
+    def test_no_conflicts_in_consistent_set(self, customer_cfds):
+        assert pairwise_conflicts(customer_cfds) == []

@@ -1,0 +1,84 @@
+"""Tests for CFD implication analysis."""
+
+import pytest
+
+from repro.analysis.implication import equivalent, implies, is_redundant
+from repro.core.parser import parse_cfd
+
+
+def cfd(text, name=None):
+    return parse_cfd(text, name=name)
+
+
+class TestBasicImplication:
+    def test_cfd_implies_itself(self):
+        phi = cfd("r: [A=_] -> [B=_]")
+        assert implies([phi], phi)
+
+    def test_fd_transitivity(self):
+        sigma = [cfd("r: [A=_] -> [B=_]"), cfd("r: [B=_] -> [C=_]")]
+        assert implies(sigma, cfd("r: [A=_] -> [C=_]"))
+
+    def test_fd_augmentation_not_reversed(self):
+        sigma = [cfd("r: [A=_] -> [B=_]")]
+        assert implies(sigma, cfd("r: [A=_, C=_] -> [B=_]"))
+        assert not implies(sigma, cfd("r: [B=_] -> [A=_]"))
+
+    def test_empty_sigma_implies_nothing_contingent(self):
+        assert not implies([], cfd("r: [A=_] -> [B=_]"))
+
+    def test_constant_specialisation_implied_by_fd(self):
+        # A plain FD CC -> CNT implies any of its constant specialisations of
+        # the LHS with wildcard RHS.
+        sigma = [cfd("customer: [CC=_] -> [CNT=_]")]
+        assert implies(sigma, cfd("customer: [CC='44'] -> [CNT=_]"))
+
+    def test_constant_rhs_not_implied_by_fd(self):
+        sigma = [cfd("customer: [CC=_] -> [CNT=_]")]
+        assert not implies(sigma, cfd("customer: [CC='44'] -> [CNT='UK']"))
+
+    def test_constant_chain(self):
+        sigma = [
+            cfd("r: [A='x'] -> [B='1']"),
+            cfd("r: [B='1'] -> [C='2']"),
+        ]
+        assert implies(sigma, cfd("r: [A='x'] -> [C='2']"))
+        assert not implies(sigma, cfd("r: [A='y'] -> [C='2']"))
+
+    def test_pattern_subsumption(self):
+        # The conditioned CFD is implied by the unconditional FD on the same sides.
+        sigma = [cfd("customer: [CNT=_, ZIP=_] -> [STR=_]")]
+        assert implies(sigma, cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]"))
+        # ... but not the other way round.
+        assert not implies(
+            [cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")],
+            cfd("customer: [CNT=_, ZIP=_] -> [STR=_]"),
+        )
+
+
+class TestRedundancyAndEquivalence:
+    def test_is_redundant(self, customer_cfds):
+        phi1, phi2, phi3, phi4 = customer_cfds
+        # phi2 ([CNT='UK',ZIP]->[STR]) is not implied by the others.
+        assert not is_redundant(customer_cfds, phi2)
+
+    def test_duplicate_is_redundant(self):
+        a = cfd("r: [A=_] -> [B=_]", name="a")
+        b = cfd("r: [A=_] -> [B=_]", name="b")
+        assert is_redundant([a, b], b)
+
+    def test_equivalent_sets(self):
+        left = [cfd("r: [A=_] -> [B=_]"), cfd("r: [B=_] -> [C=_]")]
+        right = [
+            cfd("r: [A=_] -> [B=_]"),
+            cfd("r: [B=_] -> [C=_]"),
+            cfd("r: [A=_] -> [C=_]"),  # implied, so sets are equivalent
+        ]
+        assert equivalent(left, right)
+        assert not equivalent(left, [cfd("r: [C=_] -> [A=_]")])
+
+    def test_multi_pattern_cfd_normalised_before_check(self):
+        merged = cfd("r: [A='1'] -> [B='x'] ; [A='2'] -> [B='y']")
+        sigma = [cfd("r: [A='1'] -> [B='x']"), cfd("r: [A='2'] -> [B='y']")]
+        assert implies(sigma, merged)
+        assert implies([merged], sigma[0])

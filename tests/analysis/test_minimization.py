@@ -1,0 +1,83 @@
+"""Tests for minimal covers and redundancy reporting."""
+
+import pytest
+
+from repro.analysis.implication import equivalent
+from repro.analysis.minimization import (
+    compact,
+    minimal_cover,
+    redundancy_report,
+    remove_duplicates,
+)
+from repro.core.parser import parse_cfd
+
+
+def cfd(text, name=None):
+    return parse_cfd(text, name=name)
+
+
+class TestRemoveDuplicates:
+    def test_exact_duplicates_dropped(self):
+        a = cfd("r: [A=_] -> [B=_]", name="a")
+        b = cfd("r: [A=_] -> [B=_]", name="b")
+        kept = remove_duplicates([a, b])
+        assert len(kept) == 1 and kept[0].name == "a"
+
+    def test_different_patterns_kept(self):
+        a = cfd("r: [A='1'] -> [B='x']")
+        b = cfd("r: [A='2'] -> [B='x']")
+        assert len(remove_duplicates([a, b])) == 2
+
+
+class TestMinimalCover:
+    def test_implied_cfd_removed(self):
+        sigma = [
+            cfd("r: [A=_] -> [B=_]", name="ab"),
+            cfd("r: [B=_] -> [C=_]", name="bc"),
+            cfd("r: [A=_] -> [C=_]", name="ac"),
+        ]
+        cover = minimal_cover(sigma)
+        names = {c.name for c in cover}
+        assert names == {"ab", "bc"}
+        assert equivalent(cover, sigma)
+
+    def test_cover_of_independent_set_is_unchanged(self, customer_cfds):
+        cover = minimal_cover(customer_cfds)
+        # phi4's constant bindings are not implied by the plain FD phi3, and
+        # vice versa, so nothing can be dropped except possibly nothing.
+        assert {c.name for c in cover} == {c.name for c in customer_cfds}
+
+    def test_specialised_pattern_removed(self):
+        sigma = [
+            cfd("customer: [CNT=_, ZIP=_] -> [STR=_]", name="general"),
+            cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]", name="specialised"),
+        ]
+        cover = minimal_cover(sigma)
+        assert [c.name for c in cover] == ["general"]
+
+
+class TestRedundancyReport:
+    def test_flags_duplicates_and_implied(self):
+        sigma = [
+            cfd("r: [A=_] -> [B=_]", name="ab"),
+            cfd("r: [A=_] -> [B=_]", name="ab_copy"),
+            cfd("r: [B=_] -> [C=_]", name="bc"),
+            cfd("r: [A=_] -> [C=_]", name="ac"),
+        ]
+        report = {entry["cfd"]: entry for entry in redundancy_report(sigma)}
+        assert report["ab_copy"]["duplicate"]
+        assert report["ac"]["implied_by_rest"]
+        assert not report["ab"]["duplicate"]
+        assert not report["bc"]["implied_by_rest"]
+
+
+class TestCompact:
+    def test_merges_and_minimises(self):
+        sigma = [
+            cfd("customer: [CC='44'] -> [CNT='UK']", name="a"),
+            cfd("customer: [CC='01'] -> [CNT='US']", name="b"),
+            cfd("customer: [CC='44'] -> [CNT='UK']", name="dup"),
+        ]
+        result = compact(sigma)
+        assert len(result) == 1
+        assert len(result[0].patterns) == 2

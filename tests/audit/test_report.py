@@ -1,0 +1,86 @@
+"""Tests for the full data-quality report (Fig. 4)."""
+
+import pytest
+
+from repro.audit.metrics import Cleanliness
+from repro.audit.report import DataAuditor
+from repro.datasets import generate_customers, inject_noise
+from repro.detection.detector import ErrorDetector
+from repro.engine.database import Database
+
+
+@pytest.fixture
+def quality_report(customer_relation, customer_cfds, customer_database):
+    detection = ErrorDetector(customer_database).detect("customer", customer_cfds)
+    return DataAuditor().audit(customer_relation, customer_cfds, detection)
+
+
+class TestDataQualityReport:
+    def test_headline_numbers(self, quality_report):
+        assert quality_report.tuple_count == 6
+        assert quality_report.dirty_tuple_count() == 3  # Mike, Rick, Anna
+        assert quality_report.dirty_percentage() == pytest.approx(50.0)
+
+    def test_pie_chart_totals(self, quality_report):
+        pie = quality_report.pie_chart()
+        assert sum(pie.values()) == 6
+        assert pie[Cleanliness.DIRTY.value] == 3
+
+    def test_bar_chart_has_every_attribute(self, quality_report, customer_relation):
+        bar = quality_report.bar_chart()
+        assert set(bar) == set(customer_relation.attribute_names)
+        for percentages in bar.values():
+            assert sum(percentages.values()) == pytest.approx(100.0)
+
+    def test_worst_attributes(self, quality_report):
+        worst = quality_report.worst_attributes(top=1)
+        assert worst[0][0] == "STR"
+
+    def test_statistics_include_clean_and_dirty_counts(self, quality_report):
+        assert quality_report.statistics["dirty_tuples"] == 4.0
+        assert quality_report.statistics["clean_tuples"] == 2.0
+
+    def test_per_cfd_breakdown(self, quality_report):
+        assert quality_report.per_cfd["phi2"]["multi"] == 1
+        assert quality_report.per_cfd["phi4"]["single"] == 1
+        assert quality_report.per_cfd["phi1"] == {"single": 0, "multi": 0, "tuples": 0}
+
+    def test_quality_map_embedded(self, quality_report):
+        assert sum(quality_report.quality_map.histogram().values()) == 6
+
+    def test_to_dict_serialisable(self, quality_report):
+        import json
+
+        payload = json.dumps(quality_report.to_dict())
+        assert "pie_chart" in payload
+
+
+class TestAuditorOnGeneratedData:
+    def test_clean_data_is_fully_clean(self, customer_cfds):
+        relation = generate_customers(80, seed=17)
+        database = Database()
+        database.add_relation(relation)
+        detection = ErrorDetector(database).detect("customer", customer_cfds)
+        report = DataAuditor().audit(relation, customer_cfds, detection)
+        assert report.dirty_tuple_count() == 0
+        assert report.dirty_percentage() == 0.0
+
+    def test_noise_increases_dirtiness(self, customer_cfds):
+        clean = generate_customers(120, seed=18)
+        low = inject_noise(clean, rate=0.02, seed=1, attributes=["CNT", "CC", "CITY"]).dirty
+        high = inject_noise(clean, rate=0.10, seed=1, attributes=["CNT", "CC", "CITY"]).dirty
+        auditor = DataAuditor()
+
+        def dirty_pct(relation):
+            database = Database()
+            database.add_relation(relation)
+            detection = ErrorDetector(database).detect("customer", customer_cfds)
+            return auditor.audit(relation, customer_cfds, detection).dirty_percentage()
+
+        assert dirty_pct(high) > dirty_pct(low)
+
+    def test_quantile_strategy_configuration(self, customer_cfds, customer_relation, customer_database):
+        detection = ErrorDetector(customer_database).detect("customer", customer_cfds)
+        auditor = DataAuditor(quality_strategy="quantile", quality_levels=3)
+        report = auditor.audit(customer_relation, customer_cfds, detection)
+        assert len(report.quality_map.shades) == 5 or len(report.quality_map.boundaries) == 2

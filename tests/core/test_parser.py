@@ -1,0 +1,120 @@
+"""Tests for the textual CFD syntax."""
+
+import pytest
+
+from repro.core.parser import format_cfd, parse_cfd, parse_cfds
+from repro.errors import CfdParseError
+
+
+class TestParseCfd:
+    def test_constant_cfd(self):
+        cfd = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        assert cfd.relation == "customer"
+        assert cfd.lhs == ("CC",)
+        assert cfd.rhs == ("CNT",)
+        assert cfd.patterns[0].value("CC").constant == "44"
+        assert cfd.patterns[0].value("CNT").constant == "UK"
+
+    def test_variable_cfd_with_condition(self):
+        cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        assert cfd.patterns[0].value("CNT").constant == "UK"
+        assert cfd.patterns[0].value("ZIP").is_wildcard
+        assert cfd.patterns[0].value("STR").is_wildcard
+
+    def test_attributes_without_value_default_to_wildcard(self):
+        cfd = parse_cfd("customer: [CNT, ZIP] -> [CITY]")
+        assert cfd.is_plain_fd()
+
+    def test_default_relation(self):
+        cfd = parse_cfd("[A=_] -> [B=_]", default_relation="r")
+        assert cfd.relation == "r"
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(CfdParseError):
+            parse_cfd("[A=_] -> [B=_]")
+
+    def test_numeric_constants(self):
+        cfd = parse_cfd("r: [N=42, X=3.5] -> [B='y']")
+        assert cfd.patterns[0].value("N").constant == 42
+        assert cfd.patterns[0].value("X").constant == 3.5
+
+    def test_bare_string_constants(self):
+        cfd = parse_cfd("r: [A=UK] -> [B=London]")
+        assert cfd.patterns[0].value("A").constant == "UK"
+
+    def test_double_quoted_and_escaped_single_quote(self):
+        cfd = parse_cfd("r: [A=\"New York\"] -> [B='O''Hare']")
+        assert cfd.patterns[0].value("A").constant == "New York"
+        assert cfd.patterns[0].value("B").constant == "O'Hare"
+
+    def test_multiple_pattern_groups(self):
+        cfd = parse_cfd("customer: [CC='44'] -> [CNT='UK'] ; [CC='01'] -> [CNT='US']")
+        assert len(cfd.patterns) == 2
+
+    def test_mismatched_groups_rejected(self):
+        with pytest.raises(CfdParseError):
+            parse_cfd("r: [A=_] -> [B=_] ; [C=_] -> [B=_]")
+
+    def test_values_containing_commas_in_quotes(self):
+        cfd = parse_cfd("r: [A='x, y'] -> [B=_]")
+        assert cfd.patterns[0].value("A").constant == "x, y"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "r: [A=_]",
+            "r: [A=_] -> ",
+            "r: [A=_] -> []",
+            "r: A=_ -> [B=_]",
+            "r: [A=_] -> [B=_] -> [C=_]",
+        ],
+    )
+    def test_malformed_specifications(self, text):
+        with pytest.raises(CfdParseError):
+            parse_cfd(text)
+
+    def test_explicit_name(self):
+        assert parse_cfd("r: [A=_] -> [B=_]", name="my_cfd").name == "my_cfd"
+
+
+class TestParseCfds:
+    def test_multiline_with_comments(self):
+        text = """
+        # customer constraints
+        customer: [CC='44'] -> [CNT='UK']
+
+        customer: [CNT, ZIP] -> [CITY]
+        """
+        cfds = parse_cfds(text)
+        assert len(cfds) == 2
+        assert cfds[0].name == "cfd1"
+        assert cfds[1].name == "cfd2"
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(CfdParseError, match="line 2"):
+            parse_cfds("r: [A=_] -> [B=_]\nbroken line")
+
+    def test_default_relation_applies_to_all(self):
+        cfds = parse_cfds("[A=_] -> [B=_]\n[C=_] -> [D=_]", default_relation="t")
+        assert all(cfd.relation == "t" for cfd in cfds)
+
+
+class TestFormatRoundtrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "customer: [CC='44'] -> [CNT='UK']",
+            "customer: [CNT='UK', ZIP=_] -> [STR=_]",
+            "customer: [CNT=_, ZIP=_] -> [CITY=_]",
+            "customer: [CC='44'] -> [CNT='UK'] ; [CC='01'] -> [CNT='US']",
+            "r: [A='it''s'] -> [B=_]",
+        ],
+    )
+    def test_parse_format_parse_is_stable(self, text):
+        cfd = parse_cfd(text)
+        rendered = format_cfd(cfd)
+        reparsed = parse_cfd(rendered)
+        assert reparsed.lhs == cfd.lhs
+        assert reparsed.rhs == cfd.rhs
+        assert reparsed.patterns == cfd.patterns

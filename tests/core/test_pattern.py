@@ -1,0 +1,104 @@
+"""Tests for pattern values and pattern tuples."""
+
+import pytest
+
+from repro.core.pattern import WILDCARD_TOKEN, PatternTuple, PatternValue
+from repro.errors import CfdError
+
+
+class TestPatternValue:
+    def test_wildcard_matches_any_non_null(self):
+        wildcard = PatternValue.wildcard()
+        assert wildcard.matches("anything")
+        assert wildcard.matches(0)
+        assert not wildcard.matches(None)
+
+    def test_constant_matches_equal_value_only(self):
+        const = PatternValue.const("UK")
+        assert const.matches("UK")
+        assert not const.matches("US")
+        assert not const.matches(None)
+
+    def test_numeric_constants_compare_across_types(self):
+        assert PatternValue.const(44).matches(44.0)
+
+    def test_parse_wildcard_token(self):
+        assert PatternValue.parse("_").is_wildcard
+        assert PatternValue.parse(None).is_wildcard
+        assert PatternValue.parse("UK").constant == "UK"
+
+    def test_constant_cannot_be_null(self):
+        with pytest.raises(CfdError):
+            PatternValue.const(None)
+
+    def test_wildcard_cannot_carry_constant(self):
+        with pytest.raises(CfdError):
+            PatternValue(constant="x", is_wildcard=True)
+
+    def test_encode(self):
+        assert PatternValue.wildcard().encode() == WILDCARD_TOKEN
+        assert PatternValue.const("UK").encode() == "UK"
+
+    def test_str(self):
+        assert str(PatternValue.wildcard()) == "_"
+        assert "UK" in str(PatternValue.const("UK"))
+
+
+class TestPatternTuple:
+    @pytest.fixture
+    def pattern(self):
+        return PatternTuple.of({"CNT": "UK", "ZIP": "_", "STR": "_"})
+
+    def test_attributes_preserve_order(self, pattern):
+        assert pattern.attributes == ("CNT", "ZIP", "STR")
+
+    def test_value_lookup(self, pattern):
+        assert pattern.value("CNT").constant == "UK"
+        assert pattern.value("ZIP").is_wildcard
+        with pytest.raises(CfdError):
+            pattern.value("MISSING")
+
+    def test_contains(self, pattern):
+        assert "CNT" in pattern
+        assert "CC" not in pattern
+
+    def test_constant_and_wildcard_attributes(self, pattern):
+        assert pattern.constant_attributes() == ("CNT",)
+        assert pattern.wildcard_attributes() == ("ZIP", "STR")
+
+    def test_matches_requires_all_positions(self, pattern):
+        assert pattern.matches({"CNT": "UK", "ZIP": "EH1", "STR": "High St"})
+        assert not pattern.matches({"CNT": "US", "ZIP": "EH1", "STR": "High St"})
+        assert not pattern.matches({"CNT": "UK", "ZIP": None, "STR": "High St"})
+
+    def test_matches_constants_ignores_wildcards(self, pattern):
+        assert pattern.matches_constants({"CNT": "UK", "ZIP": None, "STR": None})
+        assert not pattern.matches_constants({"CNT": "US"})
+
+    def test_restrict(self, pattern):
+        restricted = pattern.restrict(["STR", "CNT"])
+        assert restricted.attributes == ("STR", "CNT")
+
+    def test_subsumes(self):
+        general = PatternTuple.of({"A": "_", "B": "_"})
+        specific = PatternTuple.of({"A": "x", "B": "_"})
+        assert general.subsumes(specific)
+        assert not specific.subsumes(general)
+        assert specific.subsumes(specific)
+
+    def test_subsumes_requires_same_attributes(self):
+        left = PatternTuple.of({"A": "_"})
+        right = PatternTuple.of({"B": "_"})
+        assert not left.subsumes(right)
+
+    def test_all_constants_all_wildcards(self):
+        assert PatternTuple.of({"A": "x"}).is_all_constants()
+        assert PatternTuple.of({"A": "_"}).is_all_wildcards()
+
+    def test_encode(self, pattern):
+        assert pattern.encode() == {"CNT": "UK", "ZIP": "_", "STR": "_"}
+
+    def test_of_accepts_pattern_values(self):
+        tuple_ = PatternTuple.of({"A": PatternValue.const(1), "B": PatternValue.wildcard()})
+        assert tuple_.value("A").constant == 1
+        assert tuple_.value("B").is_wildcard

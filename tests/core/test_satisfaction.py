@@ -1,0 +1,182 @@
+"""Tests for the direct (oracle) CFD satisfaction semantics, incl. property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cfd import CFD
+from repro.core.parser import parse_cfd
+from repro.core.satisfaction import (
+    matching_tids,
+    multi_tuple_violation_groups,
+    satisfies,
+    satisfies_all,
+    single_tuple_violations,
+    violating_tids,
+    violation_counts,
+)
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
+
+SCHEMA = RelationSchema.of("customer", ["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"])
+
+
+def make_relation(rows):
+    return Relation.from_rows(SCHEMA, rows)
+
+
+@pytest.fixture
+def phi2():
+    return parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]", name="phi2")
+
+
+@pytest.fixture
+def phi4():
+    return parse_cfd("customer: [CC='44'] -> [CNT='UK']", name="phi4")
+
+
+@pytest.fixture
+def example(customer_relation):
+    return customer_relation
+
+
+class TestSingleTupleViolations:
+    def test_constant_violation_detected(self, example, phi4):
+        violations = single_tuple_violations(example, phi4)
+        assert violations == [(4, 0)]  # Anna: CC=44 but CNT=NL
+
+    def test_satisfying_tuples_not_flagged(self, example, phi4):
+        flagged = {tid for tid, _p in single_tuple_violations(example, phi4)}
+        assert 0 not in flagged and 5 not in flagged
+
+    def test_variable_cfd_has_no_single_violations(self, example, phi2):
+        assert single_tuple_violations(example, phi2) == []
+
+
+class TestMultiTupleViolations:
+    def test_group_detected(self, example, phi2):
+        groups = multi_tuple_violation_groups(example, phi2)
+        assert len(groups) == 1
+        pattern_index, key, tids = groups[0]
+        assert key == ("UK", "EH4 1DT")
+        assert tids == [0, 1]
+
+    def test_agreeing_group_not_flagged(self, example):
+        phi1 = parse_cfd("customer: [CNT=_, ZIP=_] -> [CITY=_]")
+        assert multi_tuple_violation_groups(example, phi1) == []
+
+    def test_null_rhs_tuples_ignored(self, phi2):
+        relation = make_relation([
+            {"CNT": "UK", "ZIP": "Z", "STR": None},
+            {"CNT": "UK", "ZIP": "Z", "STR": "High St"},
+        ])
+        assert multi_tuple_violation_groups(relation, phi2) == []
+
+    def test_null_lhs_tuples_ignored(self, phi2):
+        relation = make_relation([
+            {"CNT": "UK", "ZIP": None, "STR": "A"},
+            {"CNT": "UK", "ZIP": None, "STR": "B"},
+        ])
+        assert multi_tuple_violation_groups(relation, phi2) == []
+
+
+class TestAggregateHelpers:
+    def test_satisfies_and_satisfies_all(self, example, phi2, phi4):
+        assert not satisfies(example, phi2)
+        assert not satisfies_all(example, [phi2, phi4])
+        clean = make_relation([
+            {"CNT": "UK", "ZIP": "Z", "STR": "A", "CC": "44"},
+        ])
+        assert satisfies(clean, phi2)
+        assert satisfies(clean, phi4)
+
+    def test_violating_tids(self, example, phi2, phi4):
+        assert violating_tids(example, [phi2, phi4]) == {0, 1, 4}
+
+    def test_violation_counts_matches_paper_definition(self, example, phi2, phi4):
+        vio = violation_counts(example, [phi2, phi4])
+        # Mike and Rick each jointly violate phi2 with one other tuple.
+        assert vio[0] == 1 and vio[1] == 1
+        # Anna violates phi4 on her own.
+        assert vio[4] == 1
+        # Everyone else is clean.
+        assert vio[2] == vio[3] == vio[5] == 0
+
+    def test_matching_tids(self, example, phi2):
+        tids = matching_tids(example, phi2, phi2.patterns[0])
+        assert set(tids) == {0, 1, 5}
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+small_value = st.sampled_from(["a", "b", "c", None])
+row_strategy = st.fixed_dictionaries(
+    {"CNT": small_value, "ZIP": small_value, "STR": small_value, "CC": small_value}
+)
+rows_strategy = st.lists(row_strategy, min_size=0, max_size=12)
+
+MINI_SCHEMA = RelationSchema.of("customer", ["CNT", "ZIP", "STR", "CC"])
+
+
+def mini_relation(rows):
+    return Relation.from_rows(MINI_SCHEMA, rows)
+
+
+@st.composite
+def random_cfd(draw):
+    lhs_attrs = draw(
+        st.lists(st.sampled_from(["CNT", "ZIP", "CC"]), min_size=1, max_size=2, unique=True)
+    )
+    rhs_attr = draw(st.sampled_from([a for a in ["STR", "CNT", "CC"] if a not in lhs_attrs]))
+    mapping = {}
+    for attr in lhs_attrs:
+        mapping[attr] = draw(st.sampled_from(["_", "a", "b"]))
+    mapping[rhs_attr] = draw(st.sampled_from(["_", "a", "b"]))
+    return CFD(
+        relation="customer",
+        lhs=tuple(lhs_attrs),
+        rhs=(rhs_attr,),
+        patterns=(__import__("repro.core.pattern", fromlist=["PatternTuple"]).PatternTuple.of(mapping),),
+    )
+
+
+class TestProperties:
+    @given(rows=rows_strategy, cfd=random_cfd())
+    @settings(max_examples=60, deadline=None)
+    def test_normalize_preserves_violations(self, rows, cfd):
+        relation = mini_relation(rows)
+        direct = violating_tids(relation, [cfd])
+        normalized = violating_tids(relation, cfd.normalize())
+        assert direct == normalized
+
+    @given(rows=rows_strategy, cfd=random_cfd())
+    @settings(max_examples=60, deadline=None)
+    def test_single_and_pair_semantics_agree_with_satisfies(self, rows, cfd):
+        relation = mini_relation(rows)
+        has_violation = bool(single_tuple_violations(relation, cfd)) or bool(
+            multi_tuple_violation_groups(relation, cfd)
+        )
+        assert satisfies(relation, cfd) == (not has_violation)
+
+    @given(rows=rows_strategy, cfd=random_cfd())
+    @settings(max_examples=60, deadline=None)
+    def test_vio_counts_nonnegative_and_only_for_violators(self, rows, cfd):
+        relation = mini_relation(rows)
+        vio = violation_counts(relation, [cfd])
+        dirty = violating_tids(relation, [cfd])
+        for tid, count in vio.items():
+            assert count >= 0
+            if count > 0:
+                assert tid in dirty
+
+    @given(rows=rows_strategy, cfd=random_cfd())
+    @settings(max_examples=40, deadline=None)
+    def test_duplicating_a_tuple_never_creates_single_violations(self, rows, cfd):
+        relation = mini_relation(rows)
+        baseline = {tid for tid, _p in single_tuple_violations(relation, cfd)}
+        if rows:
+            relation.insert(rows[0])
+            after = {tid for tid, _p in single_tuple_violations(relation, cfd)}
+            assert baseline <= after

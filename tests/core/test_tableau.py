@@ -1,0 +1,87 @@
+"""Tests for pattern tableaux: merging and relational encoding."""
+
+import pytest
+
+from repro.core.cfd import CFD
+from repro.core.parser import parse_cfd
+from repro.core.tableau import (
+    PATTERN_ID_COLUMN,
+    merge_cfds,
+    relation_to_tableau,
+    split_constant_variable,
+    tableau_size,
+    tableau_to_relation,
+)
+from repro.errors import CfdError
+
+
+@pytest.fixture
+def phi4():
+    return parse_cfd("customer: [CC='44'] -> [CNT='UK'] ; [CC='01'] -> [CNT='US']")
+
+
+class TestMergeCfds:
+    def test_same_fd_merges_patterns(self):
+        a = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        b = parse_cfd("customer: [CC='01'] -> [CNT='US']")
+        merged = merge_cfds([a, b])
+        assert len(merged) == 1
+        assert len(merged[0].patterns) == 2
+
+    def test_duplicate_patterns_removed(self):
+        a = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        b = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        merged = merge_cfds([a, b])
+        assert len(merged[0].patterns) == 1
+
+    def test_different_fds_not_merged(self):
+        a = parse_cfd("customer: [CC=_] -> [CNT=_]")
+        b = parse_cfd("customer: [CNT=_, ZIP=_] -> [CITY=_]")
+        assert len(merge_cfds([a, b])) == 2
+
+    def test_order_preserved(self):
+        a = parse_cfd("customer: [CNT=_, ZIP=_] -> [CITY=_]")
+        b = parse_cfd("customer: [CC=_] -> [CNT=_]")
+        merged = merge_cfds([a, b])
+        assert merged[0].lhs == ("CNT", "ZIP")
+
+
+class TestRelationalEncoding:
+    def test_tableau_to_relation_columns_and_rows(self, phi4):
+        relation = tableau_to_relation(phi4, "tab")
+        assert relation.attribute_names == [PATTERN_ID_COLUMN, "CC", "CNT"]
+        rows = relation.to_list()
+        assert rows[0] == {PATTERN_ID_COLUMN: 0, "CC": "44", "CNT": "UK"}
+        assert rows[1] == {PATTERN_ID_COLUMN: 1, "CC": "01", "CNT": "US"}
+
+    def test_wildcards_encoded_as_token(self):
+        cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        row = tableau_to_relation(cfd).to_list()[0]
+        assert row["ZIP"] == "_"
+        assert row["STR"] == "_"
+        assert row["CNT"] == "UK"
+
+    def test_roundtrip(self, phi4):
+        relation = tableau_to_relation(phi4)
+        rebuilt = relation_to_tableau(phi4, relation)
+        assert rebuilt.patterns == phi4.patterns
+
+    def test_roundtrip_empty_relation_rejected(self, phi4):
+        relation = tableau_to_relation(phi4)
+        relation.clear()
+        with pytest.raises(CfdError):
+            relation_to_tableau(phi4, relation)
+
+
+class TestHelpers:
+    def test_tableau_size(self, phi4):
+        other = parse_cfd("customer: [CNT=_, ZIP=_] -> [CITY=_]")
+        assert tableau_size([phi4, other]) == 3
+
+    def test_split_constant_variable(self):
+        constant = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        variable = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        const_patterns, var_patterns = split_constant_variable(constant)
+        assert len(const_patterns) == 1 and not var_patterns
+        const_patterns, var_patterns = split_constant_variable(variable)
+        assert len(var_patterns) == 1 and not const_patterns

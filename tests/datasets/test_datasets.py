@@ -1,0 +1,131 @@
+"""Tests for the synthetic workloads: generators satisfy their CFDs, noise breaks them."""
+
+import pytest
+
+from repro.core.satisfaction import satisfies_all, violating_tids
+from repro.datasets import (
+    generate_customers,
+    generate_hospital,
+    generate_orders,
+    hospital_cfds,
+    inject_noise,
+    orders_cfds,
+    paper_cfds,
+    paper_example_relation,
+)
+from repro.datasets.noise import NULL, SWAP, TYPO
+
+
+class TestCustomerDataset:
+    def test_clean_data_satisfies_paper_cfds(self):
+        relation = generate_customers(200, seed=1)
+        assert satisfies_all(relation, paper_cfds())
+
+    def test_generation_is_deterministic(self):
+        assert generate_customers(50, seed=9).to_list() == generate_customers(50, seed=9).to_list()
+        assert generate_customers(50, seed=9).to_list() != generate_customers(50, seed=10).to_list()
+
+    def test_requested_size(self):
+        assert len(generate_customers(73, seed=2)) == 73
+
+    def test_paper_example_contains_known_violations(self):
+        relation = paper_example_relation()
+        dirty = violating_tids(relation, paper_cfds())
+        assert dirty == {0, 1, 4, 5}
+
+    def test_schema_matches_paper(self):
+        relation = generate_customers(5, seed=0)
+        assert relation.attribute_names == ["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"]
+
+
+class TestHospitalDataset:
+    def test_clean_data_satisfies_cfds(self):
+        relation = generate_hospital(300, seed=3)
+        assert satisfies_all(relation, hospital_cfds())
+
+    def test_provider_reuse(self):
+        relation = generate_hospital(120, seed=4)
+        providers = relation.distinct_values("PROVIDER")
+        assert len(providers) < len(relation)
+
+    def test_deterministic(self):
+        assert generate_hospital(40, seed=5).to_list() == generate_hospital(40, seed=5).to_list()
+
+
+class TestOrdersDataset:
+    def test_clean_data_satisfies_cfds(self):
+        relation = generate_orders(250, seed=6)
+        assert satisfies_all(relation, orders_cfds())
+
+    def test_order_ids_unique(self):
+        relation = generate_orders(100, seed=7)
+        assert len(set(relation.distinct_values("ORDER_ID"))) == 100
+
+    def test_quantity_is_integer(self):
+        relation = generate_orders(10, seed=8)
+        assert all(isinstance(row["QUANTITY"], int) for row in relation.to_list())
+
+
+class TestNoiseInjection:
+    def test_ground_truth_matches_differences(self):
+        clean = generate_customers(100, seed=11)
+        result = inject_noise(clean, rate=0.05, seed=12)
+        for (tid, attribute), (old, new) in result.corrupted.items():
+            assert clean.value(tid, attribute) == old
+            assert result.dirty.value(tid, attribute) == new
+            assert old != new
+        # every other cell is untouched
+        for tid, row in clean.rows():
+            for attribute, value in row.items():
+                if (tid, attribute) not in result.corrupted:
+                    assert result.dirty.value(tid, attribute) == value
+
+    def test_noise_rate_roughly_respected(self):
+        clean = generate_customers(300, seed=13)
+        result = inject_noise(clean, rate=0.10, seed=14)
+        assert 0.05 < result.corruption_rate < 0.15
+
+    def test_zero_rate_changes_nothing(self):
+        clean = generate_customers(50, seed=15)
+        result = inject_noise(clean, rate=0.0, seed=16)
+        assert result.corrupted == {}
+        assert result.dirty.to_list() == clean.to_list()
+
+    def test_noise_creates_cfd_violations(self):
+        clean = generate_customers(200, seed=17)
+        dirty = inject_noise(clean, rate=0.08, seed=18, attributes=["CNT", "CC", "CITY"]).dirty
+        assert violating_tids(dirty, paper_cfds())
+
+    def test_null_kind(self):
+        clean = generate_customers(80, seed=19)
+        result = inject_noise(clean, rate=0.2, seed=20, attributes=["STR"], kinds=(NULL,))
+        assert all(new is None for _old, new in result.corrupted.values())
+
+    def test_swap_kind_uses_domain_values(self):
+        clean = generate_customers(80, seed=21)
+        result = inject_noise(clean, rate=0.2, seed=22, attributes=["CNT"], kinds=(SWAP,))
+        domain = set(clean.distinct_values("CNT"))
+        assert all(new in domain for _old, new in result.corrupted.values())
+
+    def test_typo_kind_produces_near_strings(self):
+        clean = generate_customers(80, seed=23)
+        result = inject_noise(clean, rate=0.2, seed=24, attributes=["STR"], kinds=(TYPO,))
+        from repro.repair.cost import damerau_levenshtein
+
+        assert all(
+            damerau_levenshtein(str(old), str(new)) <= 2
+            for old, new in result.corrupted.values()
+        )
+
+    def test_invalid_parameters(self):
+        clean = generate_customers(10, seed=25)
+        with pytest.raises(ValueError):
+            inject_noise(clean, rate=1.5)
+        with pytest.raises(ValueError):
+            inject_noise(clean, rate=0.1, kinds=("scramble",))
+
+    def test_deterministic_for_seed(self):
+        clean = generate_customers(60, seed=26)
+        a = inject_noise(clean, rate=0.1, seed=27)
+        b = inject_noise(clean, rate=0.1, seed=27)
+        assert a.corrupted == b.corrupted

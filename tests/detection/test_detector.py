@@ -1,0 +1,120 @@
+"""Tests for the batch error detector (SQL path and native path)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_cfd
+from repro.datasets import generate_customers, inject_noise, paper_cfds
+from repro.detection.detector import ErrorDetector
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
+from repro.errors import DetectionError
+
+
+@pytest.fixture
+def detector(customer_database):
+    return ErrorDetector(customer_database, use_sql=True)
+
+
+@pytest.fixture
+def native_detector(customer_database):
+    return ErrorDetector(customer_database, use_sql=False)
+
+
+class TestDetectExample:
+    def test_detects_single_and_multi_violations(self, detector, customer_cfds):
+        report = detector.detect("customer", customer_cfds)
+        assert report.tuple_count == 6
+        singles = report.single_violations()
+        assert len(singles) == 1 and singles[0].tids == (4,)
+        multis = report.multi_violations()
+        # phi2 (UK zip -> street) on tuples 0,1 and phi3 (CC -> CNT) on the CC=44 group
+        assert any(set(v.tids) == {0, 1} and v.rhs_attribute == "STR" for v in multis)
+        assert any(v.rhs_attribute == "CNT" and 4 in v.tids for v in multis)
+
+    def test_vio_counts_match_paper_definition(self, detector, customer_cfds):
+        report = detector.detect("customer", customer_cfds)
+        vio = report.vio()
+        # Anna (tid 4): single phi4 violation + member of the CC=44 phi3 group of 4 tuples
+        assert vio[4] == 1 + 3
+        # Joe and Mary (US, agree everywhere) are clean
+        assert report.vio_of(2) == 0 and report.vio_of(3) == 0
+
+    def test_clean_relation_produces_empty_report(self, customer_cfds):
+        database = Database()
+        database.add_relation(generate_customers(50, seed=3))
+        detector = ErrorDetector(database)
+        report = detector.detect("customer", customer_cfds)
+        assert report.is_clean()
+
+    def test_sql_statements_recorded(self, detector, customer_cfds):
+        detector.detect("customer", customer_cfds)
+        assert detector.last_sql
+        assert any("GROUP BY" in sql for sql in detector.last_sql)
+
+    def test_temporary_tableaux_cleaned_up(self, detector, customer_cfds, customer_database):
+        before = set(customer_database.relation_names())
+        detector.detect("customer", customer_cfds)
+        assert set(customer_database.relation_names()) == before
+
+    def test_wrong_relation_rejected(self, detector):
+        with pytest.raises(DetectionError):
+            detector.detect("customer", [parse_cfd("orders: [A=_] -> [B=_]")])
+
+    def test_detect_for_tuples_filters(self, detector, customer_cfds):
+        report = detector.detect_for_tuples("customer", customer_cfds, [4])
+        assert all(4 in violation.tids for violation in report.violations)
+        assert report.total_violations() >= 1
+
+    def test_multi_rhs_cfd_detected_per_attribute(self, customer_database):
+        cfd = parse_cfd("customer: [CC=_] -> [CNT=_, AC=_]")
+        detector = ErrorDetector(customer_database)
+        report = detector.detect("customer", [cfd])
+        attrs = {violation.rhs_attribute for violation in report.violations}
+        assert "CNT" in attrs  # CC=44 group disagrees on CNT
+
+
+class TestSqlVsNative:
+    def test_same_result_on_example(self, detector, native_detector, customer_cfds):
+        sql_report = detector.detect("customer", customer_cfds)
+        native_report = native_detector.detect("customer", customer_cfds)
+        assert sql_report.vio() == native_report.vio()
+        assert sql_report.dirty_tids() == native_report.dirty_tids()
+
+    def test_same_result_on_noisy_generated_data(self, customer_cfds):
+        clean = generate_customers(150, seed=5)
+        dirty = inject_noise(clean, rate=0.05, seed=6, attributes=["CNT", "CITY", "STR", "CC"]).dirty
+        database = Database()
+        database.add_relation(dirty)
+        sql_report = ErrorDetector(database, use_sql=True).detect("customer", customer_cfds)
+        native_report = ErrorDetector(database, use_sql=False).detect("customer", customer_cfds)
+        assert sql_report.vio() == native_report.vio()
+
+    small_value = st.sampled_from(["a", "b", None])
+
+    @given(
+        rows=st.lists(
+            st.fixed_dictionaries(
+                {"CNT": small_value, "ZIP": small_value, "STR": small_value, "CC": small_value}
+            ),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_sql_equals_native(self, rows):
+        schema = RelationSchema.of("customer", ["CNT", "ZIP", "STR", "CC"])
+        relation = Relation.from_rows(schema, rows)
+        database = Database()
+        database.add_relation(relation)
+        cfds = [
+            parse_cfd("customer: [CNT='a', ZIP=_] -> [STR=_]"),
+            parse_cfd("customer: [CC='a'] -> [CNT='b']"),
+            parse_cfd("customer: [CC=_] -> [CNT=_]"),
+        ]
+        sql_report = ErrorDetector(database, use_sql=True).detect("customer", cfds)
+        native_report = ErrorDetector(database, use_sql=False).detect("customer", cfds)
+        assert sql_report.vio() == native_report.vio()
+        assert sql_report.dirty_tids() == native_report.dirty_tids()

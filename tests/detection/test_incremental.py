@@ -1,0 +1,162 @@
+"""Tests for incremental detection: equivalence with batch detection and cost locality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parser import parse_cfd
+from repro.datasets import generate_customers, paper_cfds
+from repro.detection.detector import ErrorDetector
+from repro.detection.incremental import IncrementalDetector
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
+from repro.errors import DetectionError
+
+
+def reports_equal(left, right):
+    """Order-insensitive comparison of two violation reports."""
+    def canon(report):
+        return {
+            (v.cfd_id, v.kind, v.tids, v.rhs_attribute) for v in report.violations
+        }
+    return canon(left) == canon(right) and left.vio() == right.vio()
+
+
+@pytest.fixture
+def incremental(customer_database, customer_cfds):
+    return IncrementalDetector(customer_database, "customer", customer_cfds)
+
+
+class TestInitialState:
+    def test_initial_report_matches_batch(self, customer_database, customer_cfds, incremental):
+        batch = ErrorDetector(customer_database, use_sql=False).detect("customer", customer_cfds)
+        assert reports_equal(incremental.report(), batch)
+
+    def test_wrong_relation_rejected(self, customer_database):
+        with pytest.raises(DetectionError):
+            IncrementalDetector(customer_database, "customer", [parse_cfd("orders: [A=_] -> [B=_]")])
+
+
+class TestUpdates:
+    def test_insert_violating_tuple_detected(self, incremental):
+        tid = incremental.insert(
+            {"NAME": "Zed", "CNT": "FR", "CITY": "PAR", "ZIP": "75001",
+             "STR": "Rue", "CC": "44", "AC": "01"}
+        )
+        report = incremental.report()
+        assert any(v.is_single and v.tids == (tid,) for v in report.violations)
+
+    def test_delete_removes_violations(self, incremental):
+        incremental.delete(4)  # Anna, the single-tuple violator
+        report = incremental.report()
+        assert not report.single_violations()
+
+    def test_update_fixing_violation(self, incremental):
+        incremental.update(4, {"CNT": "UK"})
+        report = incremental.report()
+        assert not report.single_violations()
+
+    def test_update_creating_multi_violation(self, incremental):
+        # Change Mary's street so the US zip group now disagrees.
+        incremental.update(3, {"STR": "Elsewhere Blvd"})
+        report = incremental.report()
+        assert any(
+            v.is_multi and set(v.tids) == {2, 3} and v.rhs_attribute == "CITY"
+            for v in report.violations
+        ) is False  # city still agrees
+        # phi1 does not fire, but the plain FD inside phi3 is untouched; check
+        # that the update itself did not corrupt other state.
+        assert report.tuple_count == 6
+
+    def test_apply_dispatch(self, incremental):
+        tid = incremental.apply("insert", row={"NAME": "N", "CNT": "US", "CITY": "NYC",
+                                               "ZIP": "01202", "STR": "Mountain Ave",
+                                               "CC": "01", "AC": "212"})
+        incremental.apply("update", tid=tid, changes={"STR": "Other St"})
+        incremental.apply("delete", tid=tid)
+        with pytest.raises(DetectionError):
+            incremental.apply("merge", tid=tid)
+
+    def test_cost_counter_and_reset(self, incremental):
+        incremental.reset_cost_counter()
+        incremental.insert(
+            {"NAME": "A", "CNT": "US", "CITY": "NYC", "ZIP": "01202",
+             "STR": "Mountain Ave", "CC": "01", "AC": "212"}
+        )
+        assert incremental.tuples_examined > 0
+        examined = incremental.tuples_examined
+        # One insert examines the tuple once per CFD pattern, far fewer times
+        # than a full re-detection over all tuples would.
+        assert examined <= 20
+
+
+class TestEquivalenceWithBatch:
+    def test_after_update_sequence(self, customer_database, customer_cfds):
+        incremental = IncrementalDetector(customer_database, "customer", customer_cfds)
+        incremental.update(4, {"CNT": "UK"})
+        incremental.insert(
+            {"NAME": "New", "CNT": "UK", "CITY": "EDI", "ZIP": "EH4 1DT",
+             "STR": "Third Street", "CC": "44", "AC": "131"}
+        )
+        incremental.delete(5)
+        batch = ErrorDetector(customer_database, use_sql=False).detect("customer", customer_cfds)
+        assert reports_equal(incremental.report(), batch)
+
+    value = st.sampled_from(["a", "b", None])
+    operation = st.sampled_from(["insert", "delete", "update"])
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_update_sequences(self, data):
+        schema = RelationSchema.of("customer", ["CNT", "ZIP", "STR", "CC"])
+        initial = data.draw(
+            st.lists(
+                st.fixed_dictionaries(
+                    {"CNT": self.value, "ZIP": self.value, "STR": self.value, "CC": self.value}
+                ),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        relation = Relation.from_rows(schema, initial)
+        database = Database()
+        database.add_relation(relation)
+        cfds = [
+            parse_cfd("customer: [CNT='a', ZIP=_] -> [STR=_]"),
+            parse_cfd("customer: [CC='a'] -> [CNT='b']"),
+            parse_cfd("customer: [CC=_] -> [CNT=_]"),
+        ]
+        incremental = IncrementalDetector(database, "customer", cfds)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+            op = data.draw(self.operation)
+            tids = relation.tids()
+            if op == "insert" or not tids:
+                incremental.insert(
+                    data.draw(
+                        st.fixed_dictionaries(
+                            {"CNT": self.value, "ZIP": self.value,
+                             "STR": self.value, "CC": self.value}
+                        )
+                    )
+                )
+            elif op == "delete":
+                incremental.delete(data.draw(st.sampled_from(tids)))
+            else:
+                tid = data.draw(st.sampled_from(tids))
+                attribute = data.draw(st.sampled_from(["CNT", "ZIP", "STR", "CC"]))
+                incremental.update(tid, {attribute: data.draw(self.value)})
+        batch = ErrorDetector(database, use_sql=False).detect("customer", cfds)
+        assert reports_equal(incremental.report(), batch)
+
+
+class TestCostLocality:
+    def test_incremental_examines_fewer_tuples_than_batch(self, customer_cfds):
+        relation = generate_customers(300, seed=9)
+        database = Database()
+        database.add_relation(relation)
+        incremental = IncrementalDetector(database, "customer", customer_cfds)
+        initial_cost = incremental.tuples_examined
+        incremental.reset_cost_counter()
+        incremental.update(0, {"CITY": "WRONG"})
+        assert incremental.tuples_examined < initial_cost / 10

@@ -1,0 +1,110 @@
+"""Tests for the CFD-to-SQL compiler."""
+
+import pytest
+
+from repro.core.parser import parse_cfd
+from repro.core.tableau import tableau_to_relation
+from repro.detection.sqlgen import DetectionSqlGenerator, tableau_relation_name
+from repro.engine.database import Database
+from repro.engine.types import AttributeDef, DataType, RelationSchema
+
+SCHEMA = RelationSchema.of("customer", ["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"])
+
+
+@pytest.fixture
+def generator():
+    return DetectionSqlGenerator(SCHEMA)
+
+
+class TestSingleTupleQuery:
+    def test_constant_rhs_produces_query(self, generator):
+        cfd = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        sql = generator.single_tuple_query(cfd, "tab")
+        assert sql is not None
+        assert "FROM customer t, tab tab" in sql
+        assert "tab.CC = '_' OR tab.CC = t.CC" in sql
+        assert "t._tid AS tid" in sql
+
+    def test_wildcard_rhs_produces_none(self, generator):
+        cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        assert generator.single_tuple_query(cfd, "tab") is None
+
+    def test_escapes_quotes_in_wildcards_and_constants(self):
+        schema = RelationSchema.of("r", ["A", "B"])
+        generator = DetectionSqlGenerator(schema)
+        cfd = parse_cfd("r: [A='it''s'] -> [B='x']")
+        sql = generator.single_tuple_query(cfd, "tab")
+        assert "'it''s'" not in sql  # constants live in the tableau, not the SQL
+        assert "IS NOT NULL" in sql
+
+
+class TestMultiTupleQuery:
+    def test_variable_rhs_produces_group_query(self, generator):
+        cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        sql = generator.multi_tuple_query(cfd, "tab")
+        assert "GROUP BY" in sql
+        assert "HAVING COUNT(DISTINCT t.STR) > 1" in sql
+        assert "t.CNT IS NOT NULL" in sql and "t.ZIP IS NOT NULL" in sql
+
+    def test_constant_rhs_produces_none(self, generator):
+        cfd = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        assert generator.multi_tuple_query(cfd, "tab") is None
+
+    def test_non_string_attributes_wrapped_in_concat(self):
+        schema = RelationSchema(
+            "orders",
+            [AttributeDef("QUANTITY", DataType.INTEGER), AttributeDef("PRODUCT")],
+        )
+        generator = DetectionSqlGenerator(schema)
+        cfd = parse_cfd("orders: [QUANTITY=_] -> [PRODUCT=_]")
+        sql = generator.multi_tuple_query(cfd, "tab")
+        assert "CONCAT(t.QUANTITY)" in sql
+
+
+class TestGeneratedSqlRuns:
+    def test_queries_execute_on_engine(self, customer_relation):
+        database = Database()
+        database.add_relation(customer_relation)
+        cfd = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        tableau = tableau_to_relation(cfd, "tab_phi4")
+        database.add_relation(tableau)
+        generator = DetectionSqlGenerator(customer_relation.schema)
+        queries = generator.generate(cfd, "tab_phi4")
+        result = database.execute(queries.single_sql)
+        assert [row["tid"] for row in result.rows] == [4]
+
+    def test_multi_query_executes_and_groups(self, customer_relation):
+        database = Database()
+        database.add_relation(customer_relation)
+        cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        tableau = tableau_to_relation(cfd, "tab_phi2")
+        database.add_relation(tableau)
+        generator = DetectionSqlGenerator(customer_relation.schema)
+        sql = generator.multi_tuple_query(cfd, "tab_phi2")
+        result = database.execute(sql)
+        assert len(result.rows) == 1
+        assert result.rows[0]["CNT"] == "UK"
+        assert result.rows[0]["distinct_rhs"] == 2
+
+    def test_group_members_query_parameterised(self, customer_relation):
+        database = Database()
+        database.add_relation(customer_relation)
+        cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        generator = DetectionSqlGenerator(customer_relation.schema)
+        sql = generator.group_members_query(cfd)
+        result = database.execute(sql, ["UK", "EH4 1DT"])
+        assert {row["tid"] for row in result.rows} == {0, 1}
+
+
+class TestNaming:
+    def test_tableau_relation_name_unique_per_index(self):
+        cfd = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        assert tableau_relation_name(cfd, 0) != tableau_relation_name(cfd, 1)
+
+    def test_generate_bundles_everything(self, generator):
+        cfd = parse_cfd("customer: [CC='44'] -> [CNT='UK']")
+        queries = generator.generate(cfd, "tab")
+        assert queries.single_sql is not None
+        assert queries.multi_sql is None
+        assert queries.group_members_sql is not None
+        assert queries.all_sql() == [queries.single_sql]

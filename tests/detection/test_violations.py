@@ -1,0 +1,108 @@
+"""Tests for violation records and the violation report."""
+
+import pytest
+
+from repro.detection.violations import MULTI, SINGLE, Violation, ViolationReport
+
+
+def single(cfd_id, tid, attr="CNT", lhs=("CC",), lhs_values=("44",)):
+    return Violation(
+        cfd_id=cfd_id, kind=SINGLE, tids=(tid,), rhs_attribute=attr,
+        lhs_attributes=lhs, lhs_values=lhs_values,
+    )
+
+
+def multi(cfd_id, tids, attr="STR", lhs=("CNT", "ZIP"), lhs_values=("UK", "EH1")):
+    return Violation(
+        cfd_id=cfd_id, kind=MULTI, tids=tuple(tids), rhs_attribute=attr,
+        lhs_attributes=lhs, lhs_values=lhs_values,
+    )
+
+
+@pytest.fixture
+def report():
+    return ViolationReport(
+        relation="customer",
+        violations=[
+            single("phi4", 4),
+            multi("phi2", (0, 1)),
+            multi("phi3", (0, 1, 4)),
+        ],
+        tuple_count=6,
+        cfd_ids=("phi2", "phi3", "phi4"),
+    )
+
+
+class TestViolation:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            Violation(cfd_id="x", kind="weird", tids=(1,), rhs_attribute="A")
+        with pytest.raises(ValueError):
+            Violation(cfd_id="x", kind=SINGLE, tids=(1, 2), rhs_attribute="A")
+        with pytest.raises(ValueError):
+            Violation(cfd_id="x", kind=MULTI, tids=(1,), rhs_attribute="A")
+
+    def test_involves_and_flags(self):
+        violation = multi("phi2", (0, 1))
+        assert violation.involves(0) and not violation.involves(5)
+        assert violation.is_multi and not violation.is_single
+
+    def test_to_dict(self):
+        data = single("phi4", 4).to_dict()
+        assert data["cfd"] == "phi4" and data["tids"] == [4]
+
+
+class TestViolationReport:
+    def test_vio_follows_paper_definition(self, report):
+        vio = report.vio()
+        # tuple 0: phi2 group of 2 (+1) and phi3 group of 3 (+2) = 3
+        assert vio[0] == 3
+        assert vio[1] == 3
+        # tuple 4: one single violation (+1) and phi3 group of 3 (+2) = 3
+        assert vio[4] == 3
+        assert report.vio_of(2) == 0
+
+    def test_dirty_and_clean_counts(self, report):
+        assert report.dirty_tids() == {0, 1, 4}
+        assert report.clean_tid_count() == 3
+        assert not report.is_clean()
+
+    def test_single_and_multi_views(self, report):
+        assert len(report.single_violations()) == 1
+        assert len(report.multi_violations()) == 2
+
+    def test_violations_for_and_cfds_violated_by(self, report):
+        assert len(report.violations_for(0)) == 2
+        assert report.cfds_violated_by(0) == ["phi2", "phi3"]
+        assert report.cfds_violated_by(2) == []
+
+    def test_attributes_implicated(self, report):
+        assert report.attributes_implicated(4) == {"CNT", "CC", "STR", "ZIP"}
+
+    def test_per_cfd_counts(self, report):
+        counts = report.per_cfd_counts()
+        assert counts["phi4"] == {"single": 1, "multi": 0, "tuples": 1}
+        assert counts["phi3"]["tuples"] == 3
+
+    def test_to_dict_round(self, report):
+        data = report.to_dict()
+        assert data["tuple_count"] == 6
+        assert len(data["violations"]) == 3
+        assert data["vio"]["0"] == 3
+
+    def test_merged_with_deduplicates(self, report):
+        other = ViolationReport(
+            relation="customer",
+            violations=[single("phi4", 4), single("phi4", 2)],
+            tuple_count=6,
+            cfd_ids=("phi4",),
+        )
+        merged = report.merged_with(other)
+        assert merged.total_violations() == 4
+        assert set(merged.cfd_ids) == {"phi2", "phi3", "phi4"}
+
+    def test_empty_report_is_clean(self):
+        empty = ViolationReport(relation="r", tuple_count=0)
+        assert empty.is_clean()
+        assert empty.vio() == {}
+        assert empty.clean_tid_count() == 0

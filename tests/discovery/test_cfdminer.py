@@ -1,0 +1,87 @@
+"""Tests for constant CFD mining."""
+
+import pytest
+
+from repro.core.satisfaction import satisfies
+from repro.datasets import generate_customers
+from repro.discovery.cfdminer import ConstantCfdMiner
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
+from repro.errors import DiscoveryError
+
+
+@pytest.fixture
+def reference():
+    """Clean reference data where CC='44' always goes with CNT='UK' etc."""
+    return generate_customers(150, seed=23)
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DiscoveryError):
+            ConstantCfdMiner(min_support=0)
+        with pytest.raises(DiscoveryError):
+            ConstantCfdMiner(min_confidence=0.0)
+        with pytest.raises(DiscoveryError):
+            ConstantCfdMiner(max_lhs_size=0)
+
+
+class TestMining:
+    def test_discovers_country_code_bindings(self, reference):
+        miner = ConstantCfdMiner(min_support=5, min_confidence=1.0, max_lhs_size=1)
+        rules = miner.mine(reference)
+        as_pairs = {(rule.lhs_items, rule.rhs_item) for rule in rules}
+        assert ((("CC", "44"),), ("CNT", "UK")) in as_pairs
+        assert ((("CC", "01"),), ("CNT", "US")) in as_pairs
+
+    def test_rules_meet_support_and_confidence(self, reference):
+        miner = ConstantCfdMiner(min_support=10, min_confidence=1.0, max_lhs_size=1)
+        for rule in miner.mine(reference):
+            assert rule.support >= 10
+            assert rule.confidence == pytest.approx(1.0)
+
+    def test_mined_cfds_hold_on_reference_data(self, reference):
+        miner = ConstantCfdMiner(min_support=8, min_confidence=1.0, max_lhs_size=1)
+        cfds = miner.mine_cfds(reference)
+        assert cfds
+        for cfd in cfds[:20]:
+            assert satisfies(reference, cfd)
+
+    def test_minimal_lhs_only(self, reference):
+        miner = ConstantCfdMiner(min_support=5, min_confidence=1.0, max_lhs_size=2)
+        rules = miner.mine(reference)
+        # If [CC='44'] -> [CNT='UK'] is found, no rule with a superset LHS and
+        # the same RHS item should be kept.
+        lhs_sets = [
+            frozenset(rule.lhs_items)
+            for rule in rules
+            if rule.rhs_item == ("CNT", "UK")
+        ]
+        for i, left in enumerate(lhs_sets):
+            for j, right in enumerate(lhs_sets):
+                if i != j:
+                    assert not left < right
+
+    def test_confidence_threshold_allows_approximate_rules(self):
+        schema = RelationSchema.of("r", ["A", "B"])
+        rows = [{"A": "x", "B": "1"}] * 9 + [{"A": "x", "B": "2"}]
+        relation = Relation.from_rows(schema, rows)
+        exact = ConstantCfdMiner(min_support=2, min_confidence=1.0).mine(relation)
+        approx = ConstantCfdMiner(min_support=2, min_confidence=0.85).mine(relation)
+        exact_rules = {(r.lhs_items, r.rhs_item) for r in exact}
+        approx_rules = {(r.lhs_items, r.rhs_item) for r in approx}
+        assert ((("A", "x"),), ("B", "1")) not in exact_rules
+        assert ((("A", "x"),), ("B", "1")) in approx_rules
+
+    def test_support_threshold_prunes(self, reference):
+        low = ConstantCfdMiner(min_support=2, max_lhs_size=1).mine(reference)
+        high = ConstantCfdMiner(min_support=40, max_lhs_size=1).mine(reference)
+        assert len(high) <= len(low)
+
+    def test_rule_to_cfd(self, reference):
+        miner = ConstantCfdMiner(min_support=5, max_lhs_size=1)
+        rule = miner.mine(reference)[0]
+        cfd = rule.to_cfd("customer", name="mined1")
+        assert cfd.relation == "customer"
+        assert cfd.is_constant_cfd()
+        assert cfd.name == "mined1"

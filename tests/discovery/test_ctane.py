@@ -1,0 +1,99 @@
+"""Tests for variable CFD discovery (CTANE-style)."""
+
+import pytest
+
+from repro.core.satisfaction import satisfies
+from repro.datasets import generate_customers
+from repro.discovery.ctane import VariableCfdDiscoverer
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
+from repro.errors import DiscoveryError
+
+
+@pytest.fixture
+def reference():
+    return generate_customers(120, seed=29)
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DiscoveryError):
+            VariableCfdDiscoverer(min_support=1)
+        with pytest.raises(DiscoveryError):
+            VariableCfdDiscoverer(min_confidence=1.5)
+        with pytest.raises(DiscoveryError):
+            VariableCfdDiscoverer(max_lhs_size=0)
+        with pytest.raises(DiscoveryError):
+            VariableCfdDiscoverer(max_lhs_size=2, max_conditions=3)
+
+
+class TestPlainFdDiscovery:
+    def test_finds_known_fds(self, reference):
+        discoverer = VariableCfdDiscoverer(min_support=5, max_lhs_size=1)
+        discovered = discoverer.discover(reference)
+        fds = {
+            (item.cfd.lhs, item.cfd.rhs)
+            for item in discovered
+            if not item.conditional
+        }
+        assert (("CC",), ("CNT",)) in fds
+        assert (("ZIP",), ("CITY",)) in fds
+
+    def test_minimal_lhs_preferred(self, reference):
+        discoverer = VariableCfdDiscoverer(min_support=5, max_lhs_size=2)
+        discovered = discoverer.discover(reference)
+        plain = [item for item in discovered if not item.conditional]
+        # CC -> CNT is found with a single-attribute LHS, so no 2-attribute
+        # superset LHS containing CC should also be reported for CNT.
+        for item in plain:
+            if item.cfd.rhs == ("CNT",) and "CC" in item.cfd.lhs:
+                assert item.cfd.lhs == ("CC",)
+
+    def test_discovered_fds_hold(self, reference):
+        discoverer = VariableCfdDiscoverer(min_support=5, max_lhs_size=1)
+        for item in discoverer.discover(reference):
+            if not item.conditional:
+                assert satisfies(reference, item.cfd)
+                assert item.confidence == 1.0
+
+
+class TestConditionedDiscovery:
+    @pytest.fixture
+    def conditional_relation(self):
+        """ZIP -> STR holds only for CNT='UK'; elsewhere it is violated."""
+        schema = RelationSchema.of("customer", ["CNT", "ZIP", "STR"])
+        rows = []
+        for i in range(10):
+            rows.append({"CNT": "UK", "ZIP": f"Z{i % 3}", "STR": f"S{i % 3}"})
+        for i in range(10):
+            rows.append({"CNT": "US", "ZIP": f"Z{i % 3}", "STR": f"S{i}"})
+        return Relation.from_rows(schema, rows)
+
+    def test_condition_discovered(self, conditional_relation):
+        discoverer = VariableCfdDiscoverer(min_support=3, max_lhs_size=2, max_conditions=1)
+        discovered = discoverer.discover(conditional_relation)
+        conditional = [item for item in discovered if item.conditional]
+        matching = [
+            item
+            for item in conditional
+            if item.cfd.rhs == ("STR",)
+            and "ZIP" in item.cfd.lhs
+            and any(
+                value.is_constant and value.constant == "UK"
+                for _attr, value in item.cfd.patterns[0].values
+            )
+        ]
+        assert matching, "expected a [CNT='UK', ZIP=_] -> [STR=_] style CFD"
+        for item in matching:
+            assert satisfies(conditional_relation, item.cfd)
+
+    def test_max_conditions_zero_disables_conditioning(self, conditional_relation):
+        discoverer = VariableCfdDiscoverer(min_support=3, max_lhs_size=2, max_conditions=0)
+        discovered = discoverer.discover(conditional_relation)
+        assert all(not item.conditional for item in discovered)
+
+    def test_discover_cfds_names_results(self, reference):
+        discoverer = VariableCfdDiscoverer(min_support=10, max_lhs_size=1)
+        cfds = discoverer.discover_cfds(reference, name_prefix="auto")
+        assert cfds and all(cfd.name.startswith("auto") for cfd in cfds)
+        assert len({cfd.name for cfd in cfds}) == len(cfds)

@@ -1,0 +1,80 @@
+"""Tests for the discovery lattice utilities."""
+
+import pytest
+
+from repro.datasets import generate_customers
+from repro.discovery.lattice import (
+    attribute_subsets,
+    fd_confidence,
+    fd_holds,
+    fd_violating_blocks,
+    partition,
+    value_frequencies,
+)
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
+
+SCHEMA = RelationSchema.of("r", ["A", "B", "C"])
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(
+        SCHEMA,
+        [
+            {"A": "x", "B": "1", "C": "p"},
+            {"A": "x", "B": "1", "C": "p"},
+            {"A": "x", "B": "2", "C": "q"},
+            {"A": "y", "B": "3", "C": "p"},
+            {"A": None, "B": "3", "C": "p"},
+        ],
+    )
+
+
+class TestAttributeSubsets:
+    def test_sizes_respected(self):
+        subsets = list(attribute_subsets(["A", "B", "C"], 2))
+        assert ("A",) in subsets and ("A", "B") in subsets
+        assert ("A", "B", "C") not in subsets
+
+    def test_empty_for_zero_size(self):
+        assert list(attribute_subsets(["A"], 0)) == []
+
+
+class TestPartition:
+    def test_blocks_by_values(self, relation):
+        blocks = partition(relation, ["A"])
+        assert sorted(len(v) for v in blocks.values()) == [1, 1, 3]
+
+    def test_null_rows_get_singleton_blocks(self, relation):
+        blocks = partition(relation, ["A"])
+        null_blocks = [key for key in blocks if key[0] == "__null__"]
+        assert len(null_blocks) == 1
+
+
+class TestFdChecks:
+    def test_fd_holds(self, relation):
+        assert fd_holds(relation, ["A", "B"], "C")
+        assert not fd_holds(relation, ["A"], "B")
+        assert fd_holds(relation, ["B"], "C")
+
+    def test_fd_violating_blocks(self, relation):
+        violating = fd_violating_blocks(relation, ["A"], "B")
+        assert len(violating) == 1
+        key, tids = violating[0]
+        assert key == ("x",) and len(tids) == 3
+
+    def test_fd_confidence(self, relation):
+        assert fd_confidence(relation, ["A", "B"], "C") == 1.0
+        # Blocks: A='x' keeps 2 of 3, A='y' keeps 1, the NULL singleton keeps 1.
+        assert fd_confidence(relation, ["A"], "B") == pytest.approx(4 / 5)
+
+    def test_fd_confidence_on_clean_generated_data(self):
+        relation = generate_customers(60, seed=3)
+        assert fd_confidence(relation, ["CC"], "CNT") == 1.0
+
+
+class TestValueFrequencies:
+    def test_counts_non_null(self, relation):
+        counts = value_frequencies(relation, "A")
+        assert counts == {"x": 3, "y": 1}

@@ -1,0 +1,59 @@
+"""Tests for sampling, splitting and validating discovered CFDs."""
+
+import pytest
+
+from repro.datasets import generate_customers, inject_noise, paper_cfds
+from repro.discovery.sampling import sample_relation, split_relation, validate_cfds
+
+
+@pytest.fixture
+def relation():
+    return generate_customers(100, seed=37)
+
+
+class TestSampleRelation:
+    def test_sample_size(self, relation):
+        sample = sample_relation(relation, 20, seed=1)
+        assert len(sample) == 20
+
+    def test_sample_larger_than_relation_returns_all(self, relation):
+        assert len(sample_relation(relation, 500, seed=1)) == 100
+
+    def test_deterministic_for_same_seed(self, relation):
+        a = sample_relation(relation, 30, seed=5)
+        b = sample_relation(relation, 30, seed=5)
+        assert a.to_list() == b.to_list()
+
+    def test_rows_come_from_source(self, relation):
+        sample = sample_relation(relation, 10, seed=2)
+        source_rows = relation.to_list()
+        for row in sample.to_list():
+            assert row in source_rows
+
+
+class TestSplitRelation:
+    def test_split_sizes(self, relation):
+        training, holdout = split_relation(relation, holdout_fraction=0.25, seed=3)
+        assert len(training) + len(holdout) == 100
+        assert len(holdout) == 25
+
+    def test_split_is_a_partition(self, relation):
+        training, holdout = split_relation(relation, holdout_fraction=0.3, seed=4)
+        combined = sorted(
+            (tuple(sorted(row.items())) for row in training.to_list() + holdout.to_list())
+        )
+        original = sorted(tuple(sorted(row.items())) for row in relation.to_list())
+        assert combined == original
+
+
+class TestValidateCfds:
+    def test_clean_data_has_zero_violation_rate(self, relation):
+        results = validate_cfds(relation, paper_cfds())
+        for metrics in results.values():
+            assert metrics["violation_rate"] == 0.0
+
+    def test_noisy_data_reports_violations(self, relation):
+        dirty = inject_noise(relation, rate=0.1, seed=5, attributes=["CNT", "CC"]).dirty
+        results = validate_cfds(dirty, paper_cfds())
+        assert any(metrics["violation_rate"] > 0 for metrics in results.values())
+        assert set(results) == {cfd.identifier for cfd in paper_cfds()}

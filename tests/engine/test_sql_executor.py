@@ -1,0 +1,218 @@
+"""End-to-end tests of SQL execution against the engine."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.sql.planner import explain, plan_select
+from repro.engine.sql.parser import parse_sql
+from repro.engine.types import RelationSchema
+from repro.errors import SqlExecutionError, SqlPlanError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_relation(
+        RelationSchema.of("emp", ["name", ("salary", "int"), "dept", "city"]),
+        rows=[
+            {"name": "ann", "salary": 10, "dept": "eng", "city": "EDI"},
+            {"name": "bob", "salary": 20, "dept": "eng", "city": "LDN"},
+            {"name": "cat", "salary": 30, "dept": "ops", "city": "EDI"},
+            {"name": "dan", "salary": 40, "dept": "ops", "city": None},
+        ],
+    )
+    database.create_relation(
+        RelationSchema.of("dept", ["dept", "manager"]),
+        rows=[
+            {"dept": "eng", "manager": "erin"},
+            {"dept": "ops", "manager": "omar"},
+        ],
+    )
+    return database
+
+
+class TestSelectBasics:
+    def test_projection_and_alias(self, db):
+        result = db.execute("SELECT name AS who, salary FROM emp WHERE salary >= 30")
+        assert result.columns == ["who", "salary"]
+        assert {row["who"] for row in result} == {"cat", "dan"}
+
+    def test_star_excludes_tid(self, db):
+        rows = db.query("SELECT * FROM emp LIMIT 1")
+        assert set(rows[0]) == {"name", "salary", "dept", "city"}
+
+    def test_tid_pseudo_column(self, db):
+        rows = db.query("SELECT t._tid AS tid, t.name FROM emp t WHERE t.name = 'cat'")
+        assert rows == [{"tid": 2, "name": "cat"}]
+
+    def test_where_null_comparison_filters_row(self, db):
+        rows = db.query("SELECT name FROM emp WHERE city = 'EDI'")
+        assert {row["name"] for row in rows} == {"ann", "cat"}
+
+    def test_is_null_and_is_not_null(self, db):
+        assert db.query("SELECT name FROM emp WHERE city IS NULL")[0]["name"] == "dan"
+        assert len(db.query("SELECT name FROM emp WHERE city IS NOT NULL")) == 3
+
+    def test_in_and_not_in(self, db):
+        rows = db.query("SELECT name FROM emp WHERE dept IN ('ops')")
+        assert {row["name"] for row in rows} == {"cat", "dan"}
+        rows = db.query("SELECT name FROM emp WHERE dept NOT IN ('ops')")
+        assert {row["name"] for row in rows} == {"ann", "bob"}
+
+    def test_like(self, db):
+        rows = db.query("SELECT name FROM emp WHERE name LIKE '%a%'")
+        assert {row["name"] for row in rows} == {"ann", "cat", "dan"}
+
+    def test_order_by_and_limit(self, db):
+        rows = db.query("SELECT name FROM emp ORDER BY salary DESC LIMIT 2")
+        assert [row["name"] for row in rows] == ["dan", "cat"]
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT dept FROM emp")
+        assert sorted(row["dept"] for row in rows) == ["eng", "ops"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 2 + 3 AS v").scalar() == 5
+
+    def test_case_expression(self, db):
+        rows = db.query(
+            "SELECT name, CASE WHEN salary >= 30 THEN 'high' ELSE 'low' END AS band FROM emp"
+        )
+        bands = {row["name"]: row["band"] for row in rows}
+        assert bands == {"ann": "low", "bob": "low", "cat": "high", "dan": "high"}
+
+    def test_scalar_functions(self, db):
+        row = db.query("SELECT UPPER(name) AS u, LENGTH(name) AS l FROM emp WHERE name = 'ann'")[0]
+        assert row == {"u": "ANN", "l": 3}
+
+    def test_concat_and_coalesce(self, db):
+        row = db.query(
+            "SELECT CONCAT(name, '@', COALESCE(city, 'unknown')) AS email FROM emp WHERE name = 'dan'"
+        )[0]
+        assert row["email"] == "dan@unknown"
+
+    def test_parameterised_query(self, db):
+        rows = db.query("SELECT name FROM emp WHERE dept = ? AND salary > ?", ["eng", 15])
+        assert [row["name"] for row in rows] == ["bob"]
+
+    def test_missing_parameter_raises(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.query("SELECT name FROM emp WHERE dept = ?")
+
+
+class TestAggregates:
+    def test_group_by_count(self, db):
+        rows = db.query("SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY dept")
+        assert rows == [{"dept": "eng", "n": 2}, {"dept": "ops", "n": 2}]
+
+    def test_having_filters_groups(self, db):
+        rows = db.query(
+            "SELECT city, COUNT(*) AS n FROM emp WHERE city IS NOT NULL "
+            "GROUP BY city HAVING COUNT(*) > 1"
+        )
+        assert rows == [{"city": "EDI", "n": 2}]
+
+    def test_count_distinct(self, db):
+        result = db.execute("SELECT COUNT(DISTINCT dept) AS n FROM emp")
+        assert result.scalar() == 2
+
+    def test_sum_avg_min_max(self, db):
+        row = db.query(
+            "SELECT SUM(salary) AS s, AVG(salary) AS a, MIN(salary) AS lo, MAX(salary) AS hi FROM emp"
+        )[0]
+        assert row == {"s": 100, "a": 25, "lo": 10, "hi": 40}
+
+    def test_aggregate_skips_nulls(self, db):
+        result = db.execute("SELECT COUNT(city) AS n FROM emp")
+        assert result.scalar() == 3
+
+    def test_aggregate_without_group_by_single_row(self, db):
+        rows = db.query("SELECT COUNT(*) AS n FROM emp WHERE dept = 'eng'")
+        assert rows == [{"n": 2}]
+
+    def test_aggregate_outside_group_context_raises(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.query("SELECT name FROM emp WHERE COUNT(*) > 1")
+
+    def test_having_without_aggregate_is_plan_error(self, db):
+        with pytest.raises(SqlPlanError):
+            db.query("SELECT name FROM emp HAVING name = 'ann'")
+
+
+class TestJoins:
+    def test_cross_join_with_filter(self, db):
+        rows = db.query(
+            "SELECT e.name, d.manager FROM emp e, dept d WHERE e.dept = d.dept AND e.salary > 25"
+        )
+        assert {(row["name"], row["manager"]) for row in rows} == {
+            ("cat", "omar"),
+            ("dan", "omar"),
+        }
+
+    def test_inner_join_on(self, db):
+        rows = db.query(
+            "SELECT e.name, d.manager FROM emp e INNER JOIN dept d ON e.dept = d.dept "
+            "WHERE e.name = 'ann'"
+        )
+        assert rows == [{"name": "ann", "manager": "erin"}]
+
+    def test_ambiguous_column_raises(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.query("SELECT dept FROM emp e, dept d")
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SqlExecutionError):
+            db.query("SELECT missing FROM emp")
+
+
+class TestDml:
+    def test_insert_then_visible(self, db):
+        db.execute("INSERT INTO emp (name, salary, dept, city) VALUES ('eve', 50, 'eng', 'EDI')")
+        assert db.execute("SELECT COUNT(*) AS n FROM emp").scalar() == 5
+
+    def test_update_with_where(self, db):
+        updated = db.execute("UPDATE emp SET salary = salary + 5 WHERE dept = 'eng'")
+        assert updated == 2
+        assert db.execute("SELECT SUM(salary) AS s FROM emp").scalar() == 110
+
+    def test_update_all_rows(self, db):
+        assert db.execute("UPDATE emp SET city = 'X'") == 4
+
+    def test_delete_with_where(self, db):
+        deleted = db.execute("DELETE FROM emp WHERE salary < 15")
+        assert deleted == 1
+        assert db.execute("SELECT COUNT(*) AS n FROM emp").scalar() == 3
+
+    def test_create_insert_select_roundtrip(self, db):
+        db.execute("CREATE TABLE log (event varchar, level int)")
+        db.execute("INSERT INTO log (event, level) VALUES ('boot', 1)")
+        assert db.query("SELECT event FROM log") == [{"event": "boot"}]
+
+    def test_drop_table_if_exists(self, db):
+        assert db.execute("DROP TABLE IF EXISTS nothere") == 0
+        db.execute("CREATE TABLE gone (a int)")
+        assert db.execute("DROP TABLE gone") == 1
+
+
+class TestPlanner:
+    def test_explain_contains_nodes(self, db):
+        plan = plan_select(parse_sql(
+            "SELECT dept, COUNT(*) AS n FROM emp WHERE salary > 0 GROUP BY dept ORDER BY n LIMIT 1"
+        ))
+        text = explain(plan)
+        assert "Scan emp" in text
+        assert "Filter" in text
+        assert "Aggregate" in text
+        assert "Sort" in text
+        assert "Limit" in text
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(SqlPlanError):
+            plan_select(parse_sql("SELECT * FROM emp t, dept t"))
+
+    def test_resultset_helpers(self, db):
+        result = db.execute("SELECT name, salary FROM emp ORDER BY salary LIMIT 2")
+        assert result.column("name") == ["ann", "bob"]
+        assert result.to_tuples() == [("ann", 10), ("bob", 20)]
+        with pytest.raises(SqlExecutionError):
+            result.scalar()

@@ -1,0 +1,62 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.engine.sql.lexer import Token, tokenize
+from repro.errors import SqlLexError
+
+
+def kinds(sql):
+    return [(token.kind, token.value) for token in tokenize(sql) if token.kind != "eof"]
+
+
+class TestTokenize:
+    def test_keywords_are_lowercased(self):
+        assert kinds("SELECT foo FROM bar")[0] == ("keyword", "select")
+
+    def test_identifiers_keep_case(self):
+        assert ("identifier", "FooBar") in kinds("SELECT FooBar FROM t")
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = kinds("SELECT 'it''s'")
+        assert ("string", "it's") in tokens
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT 'oops")
+
+    def test_numbers_integer_float_exponent(self):
+        tokens = kinds("SELECT 1, 2.5, 1e3")
+        values = [value for kind, value in tokens if kind == "number"]
+        assert values == ["1", "2.5", "1e3"]
+
+    def test_two_char_operators(self):
+        tokens = kinds("a <> b <= c >= d != e || f")
+        operators = [value for kind, value in tokens if kind == "operator"]
+        assert "<>" in operators and "<=" in operators and ">=" in operators
+        assert "!=" in operators and "||" in operators
+
+    def test_comments_are_skipped(self):
+        tokens = kinds("SELECT a -- comment here\nFROM t")
+        assert ("keyword", "from") in tokens
+        assert all("comment" not in value for _kind, value in tokens)
+
+    def test_quoted_identifier(self):
+        tokens = kinds('SELECT "weird name" FROM t')
+        assert ("identifier", "weird name") in tokens
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT @foo")
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_parameters(self):
+        tokens = kinds("SELECT * FROM t WHERE a = ?")
+        assert ("operator", "?") in tokens
+
+    def test_token_helpers(self):
+        token = Token("keyword", "select", 0)
+        assert token.is_keyword("select", "insert")
+        assert not token.is_operator("=")

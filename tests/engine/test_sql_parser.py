@@ -1,0 +1,156 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.engine.sql import ast
+from repro.engine.sql.parser import parse_sql
+from repro.errors import SqlParseError
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        statement = parse_sql("SELECT a, b FROM t")
+        assert isinstance(statement, ast.Select)
+        assert len(statement.items) == 2
+        assert statement.from_tables[0].name == "t"
+
+    def test_select_star_and_qualified_star(self):
+        statement = parse_sql("SELECT *, t.* FROM t")
+        assert isinstance(statement.items[0].expression, ast.Star)
+        assert statement.items[1].expression.table == "t"
+
+    def test_aliases_with_and_without_as(self):
+        statement = parse_sql("SELECT a AS x, b y FROM t u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+        assert statement.from_tables[0].alias == "u"
+
+    def test_where_and_or_not_precedence(self):
+        statement = parse_sql("SELECT a FROM t WHERE NOT a = 1 AND b = 2 OR c = 3")
+        assert isinstance(statement.where, ast.BinaryOp)
+        assert statement.where.op == "or"
+        assert statement.where.left.op == "and"
+
+    def test_group_by_having(self):
+        statement = parse_sql(
+            "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept HAVING COUNT(*) > 1"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_count_distinct(self):
+        statement = parse_sql("SELECT COUNT(DISTINCT city) FROM t")
+        call = statement.items[0].expression
+        assert isinstance(call, ast.FunctionCall)
+        assert call.distinct
+
+    def test_order_by_directions_and_limit(self):
+        statement = parse_sql("SELECT a FROM t ORDER BY a DESC, b ASC LIMIT 5")
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+        assert statement.limit == 5
+
+    def test_select_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_cross_join_and_inner_join(self):
+        statement = parse_sql(
+            "SELECT * FROM a x, b y INNER JOIN c z ON x.id = z.id"
+        )
+        assert len(statement.from_tables) == 2
+        assert len(statement.joins) == 1
+        assert statement.joins[0].table.alias == "z"
+
+    def test_in_like_is_null_between_not(self):
+        statement = parse_sql(
+            "SELECT a FROM t WHERE a IN ('x','y') AND b NOT LIKE 'z%' AND c IS NOT NULL"
+        )
+        conjunct = statement.where
+        assert conjunct.op == "and"
+
+    def test_case_when(self):
+        statement = parse_sql("SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t")
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.CaseWhen)
+        assert expression.else_value is not None
+
+    def test_arithmetic_precedence(self):
+        statement = parse_sql("SELECT 1 + 2 * 3")
+        expression = statement.items[0].expression
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_parameters_are_numbered(self):
+        statement = parse_sql("SELECT a FROM t WHERE a = ? AND b = ?")
+        refs = []
+
+        def collect(node):
+            if isinstance(node, ast.Parameter):
+                refs.append(node.index)
+            if isinstance(node, ast.BinaryOp):
+                collect(node.left)
+                collect(node.right)
+
+        collect(statement.where)
+        assert refs == [0, 1]
+
+    def test_select_without_from(self):
+        statement = parse_sql("SELECT 1 + 1 AS two")
+        assert statement.from_tables == ()
+
+
+class TestDmlAndDdlParsing:
+    def test_insert_multiple_rows(self):
+        statement = parse_sql("INSERT INTO t (a, b) VALUES ('x', 1), ('y', 2)")
+        assert isinstance(statement, ast.Insert)
+        assert statement.columns == ("a", "b")
+        assert len(statement.rows) == 2
+
+    def test_insert_without_columns(self):
+        statement = parse_sql("INSERT INTO t VALUES (1, 2)")
+        assert statement.columns == ()
+
+    def test_update(self):
+        statement = parse_sql("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(statement, ast.Update)
+        assert len(statement.assignments) == 2
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, ast.Delete)
+
+    def test_create_table_with_primary_key(self):
+        statement = parse_sql(
+            "CREATE TABLE t (a varchar NOT NULL, b int, PRIMARY KEY (a))"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].not_null
+        assert statement.primary_key == ("a",)
+
+    def test_drop_table_if_exists(self):
+        statement = parse_sql("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, ast.DropTable)
+        assert statement.if_exists
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP",
+            "FOO BAR",
+            "SELECT a FROM t extra_garbage more",
+            "INSERT INTO t VALUES",
+            "CASE WHEN",
+        ],
+    )
+    def test_invalid_sql_raises(self, sql):
+        with pytest.raises(SqlParseError):
+            parse_sql(sql)
+
+    def test_trailing_semicolon_allowed(self):
+        assert isinstance(parse_sql("SELECT a FROM t;"), ast.Select)

@@ -1,0 +1,82 @@
+"""Tests for the Fig. 2 drill-down navigation."""
+
+import pytest
+
+from repro.detection.detector import ErrorDetector
+from repro.errors import ExplorerError
+from repro.explorer.navigation import DataExplorer
+
+
+@pytest.fixture
+def explorer(customer_relation, customer_cfds, customer_database):
+    report = ErrorDetector(customer_database).detect("customer", customer_cfds)
+    return DataExplorer(customer_relation, customer_cfds, report)
+
+
+class TestCfdList:
+    def test_lists_every_cfd_with_violation_counts(self, explorer, customer_cfds):
+        summaries = {summary.cfd_id: summary for summary in explorer.list_cfds()}
+        assert set(summaries) == {cfd.identifier for cfd in customer_cfds}
+        assert summaries["phi2"].violating_tuples == 2
+        assert summaries["phi1"].violating_tuples == 0
+        assert summaries["phi4"].violating_tuples == 1
+        assert summaries["phi3"].violating_tuples == 4
+
+    def test_unknown_cfd_rejected(self, explorer):
+        with pytest.raises(ExplorerError):
+            explorer.patterns_for("nope")
+
+
+class TestDrillDown:
+    def test_patterns_for_with_counts(self, explorer):
+        patterns = explorer.patterns_for("phi2")
+        assert len(patterns) == 1
+        assert patterns[0].violating_tuples == 2
+        assert patterns[0].rendered["CNT"] == "'UK'"
+
+    def test_lhs_matches_ranked_by_violations(self, explorer):
+        matches = explorer.lhs_matches("phi2", 0)
+        assert matches[0].lhs_values == ("UK", "EH4 1DT")
+        assert matches[0].violating_tuples == 2
+        assert matches[0].tuple_count == 2
+        # Bob's postcode group has no violations and comes later.
+        assert matches[-1].violating_tuples == 0
+
+    def test_rhs_values_show_disagreement(self, explorer):
+        values = explorer.rhs_values("phi2", 0, ("UK", "EH4 1DT"))
+        assert {entry.value for entry in values} == {"Mayfield Rd", "Crichton St"}
+        assert all(entry.violating_tuples == 1 for entry in values)
+
+    def test_tuples_for_with_and_without_rhs_filter(self, explorer):
+        all_tuples = explorer.tuples_for("phi2", 0, ("UK", "EH4 1DT"))
+        assert {tid for tid, _row in all_tuples} == {0, 1}
+        only_mayfield = explorer.tuples_for("phi2", 0, ("UK", "EH4 1DT"), "Mayfield Rd")
+        assert [tid for tid, _row in only_mayfield] == [0]
+
+    def test_invalid_pattern_index(self, explorer):
+        with pytest.raises(ExplorerError):
+            explorer.lhs_matches("phi2", 7)
+
+
+class TestTupleExplanation:
+    def test_explain_violating_tuple(self, explorer):
+        info = explorer.explain_tuple(4)  # Anna
+        assert info["vio"] == 4
+        assert any(entry["cfd"] == "phi4" and entry["violated"] for entry in info["relevant_cfds"])
+        assert len(info["violations"]) >= 2
+
+    def test_explain_clean_tuple(self, explorer):
+        info = explorer.explain_tuple(2)  # Joe
+        assert info["vio"] == 0
+        assert all(not entry["violated"] for entry in info["relevant_cfds"])
+        # phi4's [CC='01'] pattern applies to Joe even though he is clean.
+        assert any(entry["cfd"] == "phi4" for entry in info["relevant_cfds"])
+
+    def test_explain_unknown_tuple(self, explorer):
+        with pytest.raises(ExplorerError):
+            explorer.explain_tuple(404)
+
+    def test_dirtiest_tuples_ranking(self, explorer):
+        ranking = explorer.dirtiest_tuples(top=2)
+        assert len(ranking) == 2
+        assert ranking[0][1] >= ranking[1][1] > 0

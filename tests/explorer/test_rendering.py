@@ -1,0 +1,88 @@
+"""Tests for text rendering of explorer views."""
+
+import pytest
+
+from repro.audit.report import DataAuditor
+from repro.audit.quality_map import build_quality_map
+from repro.detection.detector import ErrorDetector
+from repro.explorer.rendering import (
+    render_bar_chart,
+    render_pie_chart,
+    render_quality_map,
+    render_quality_report,
+    render_relation,
+    render_repair_diff,
+    render_table,
+)
+from repro.repair.repairer import BatchRepairer
+
+
+@pytest.fixture
+def report(customer_database, customer_cfds):
+    return ErrorDetector(customer_database).detect("customer", customer_cfds)
+
+
+class TestTables:
+    def test_render_table_alignment_and_nulls(self):
+        text = render_table([{"a": "x", "b": None}, {"a": "longer", "b": 2}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines[2:])) == 1  # aligned rows
+
+    def test_render_table_respects_max_rows_and_columns(self):
+        text = render_table([{"a": i} for i in range(10)], columns=["a"], max_rows=3)
+        assert text.count("\n") == 4
+
+    def test_render_empty_table(self):
+        assert render_table([], columns=["a", "b"]).splitlines()[0].startswith("a")
+
+    def test_render_relation_includes_tids(self, customer_relation):
+        text = render_relation(customer_relation, max_rows=2)
+        assert "tid" in text and "Mike" in text and "Joe" not in text
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_max(self):
+        text = render_bar_chart({"A": 100.0, "B": 50.0})
+        line_a, line_b = text.splitlines()
+        assert line_a.count("#") > line_b.count("#")
+
+    def test_bar_chart_empty(self):
+        assert render_bar_chart({}) == "(no data)"
+
+    def test_pie_chart_percentages(self):
+        text = render_pie_chart({"clean": 3, "dirty": 1})
+        assert "75.0%" in text and "25.0%" in text
+
+
+class TestQualityViews:
+    def test_quality_map_rendering(self, customer_relation, report):
+        quality_map = build_quality_map(customer_relation, report)
+        text = render_quality_map(customer_relation, quality_map)
+        assert "vio=" in text and "legend" in text
+
+    def test_quality_map_truncation(self, customer_relation, report):
+        quality_map = build_quality_map(customer_relation, report)
+        text = render_quality_map(customer_relation, quality_map, max_rows=2)
+        assert "more tuples" in text
+
+    def test_quality_report_rendering(self, customer_relation, customer_cfds, report):
+        quality_report = DataAuditor().audit(customer_relation, customer_cfds, report)
+        text = render_quality_report(quality_report)
+        assert "Data quality report" in text
+        assert "pie chart" in text.lower() or "Tuple cleanliness" in text
+        assert "Dirtiest attributes" in text
+
+
+class TestRepairDiff:
+    def test_diff_highlights_changes_and_alternatives(self, customer_relation, customer_cfds):
+        repair = BatchRepairer().repair(customer_relation, customer_cfds)
+        text = render_repair_diff(repair)
+        assert "->" in text and "cells changed" in text
+        assert "alternatives" in text
+
+    def test_diff_truncation(self, customer_relation, customer_cfds):
+        repair = BatchRepairer().repair(customer_relation, customer_cfds)
+        text = render_repair_diff(repair, max_rows=1)
+        if len(repair.changed_tids()) > 1:
+            assert "more tuples" in text

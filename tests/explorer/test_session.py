@@ -1,0 +1,68 @@
+"""Tests for the stateful exploration session."""
+
+import pytest
+
+from repro.detection.detector import ErrorDetector
+from repro.errors import ExplorerError
+from repro.explorer.navigation import CfdSummary, LhsMatch, PatternSummary, RhsValue
+from repro.explorer.session import ExplorationSession
+
+
+@pytest.fixture
+def session(customer_relation, customer_cfds, customer_database):
+    report = ErrorDetector(customer_database).detect("customer", customer_cfds)
+    return ExplorationSession(customer_relation, customer_cfds, report)
+
+
+class TestWalkthrough:
+    def test_full_fig2_walk(self, session):
+        assert session.level == "cfd"
+        cfd_options = session.options()
+        assert all(isinstance(option, CfdSummary) for option in cfd_options)
+
+        patterns = session.select("phi2")
+        assert session.level == "pattern"
+        assert all(isinstance(option, PatternSummary) for option in patterns)
+
+        lhs = session.select(patterns[0])
+        assert session.level == "lhs"
+        assert all(isinstance(option, LhsMatch) for option in lhs)
+
+        rhs = session.select(lhs[0])
+        assert session.level == "rhs"
+        assert all(isinstance(option, RhsValue) for option in rhs)
+
+        tuples = session.select(rhs[0])
+        assert session.level == "tuples"
+        assert tuples and all(isinstance(tid, int) for tid, _row in tuples)
+
+    def test_selection_beyond_tuples_rejected(self, session):
+        session.select("phi2")
+        session.select(0)
+        session.select(("UK", "EH4 1DT"))
+        session.select("Mayfield Rd")
+        with pytest.raises(ExplorerError):
+            session.select("anything")
+
+    def test_breadcrumbs_track_path(self, session):
+        session.select("phi2")
+        session.select(0)
+        crumbs = session.breadcrumbs()
+        assert [crumb.level for crumb in crumbs] == ["cfd", "pattern"]
+        assert crumbs[0].value == "phi2"
+
+    def test_back_and_reset(self, session):
+        session.select("phi2")
+        session.select(0)
+        session.back()
+        assert session.level == "pattern"
+        session.reset()
+        assert session.level == "cfd"
+        assert session.breadcrumbs() == []
+
+    def test_back_at_top_rejected(self, session):
+        with pytest.raises(ExplorerError):
+            session.back()
+
+    def test_explain_delegates(self, session):
+        assert session.explain(4)["vio"] == 4

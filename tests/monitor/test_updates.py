@@ -1,0 +1,51 @@
+"""Tests for update operations and the update log."""
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.monitor.updates import Update, UpdateKind, UpdateLog
+
+
+class TestUpdate:
+    def test_constructors(self):
+        insert = Update.insert({"A": 1})
+        delete = Update.delete(3)
+        modify = Update.modify(2, {"A": 5})
+        assert insert.kind is UpdateKind.INSERT and insert.row == {"A": 1}
+        assert delete.kind is UpdateKind.DELETE and delete.tid == 3
+        assert modify.kind is UpdateKind.MODIFY and modify.changes == {"A": 5}
+
+    def test_validation(self):
+        with pytest.raises(MonitorError):
+            Update(kind=UpdateKind.INSERT)
+        with pytest.raises(MonitorError):
+            Update(kind=UpdateKind.DELETE)
+        with pytest.raises(MonitorError):
+            Update(kind=UpdateKind.MODIFY, tid=1, changes={})
+
+    def test_to_dict(self):
+        data = Update.modify(2, {"A": 5}).to_dict()
+        assert data == {"kind": "modify", "row": None, "tid": 2, "changes": {"A": 5}}
+
+
+class TestUpdateLog:
+    def test_append_assigns_increasing_sequence(self):
+        log = UpdateLog()
+        first = log.append(Update.insert({"A": 1}), tid=0)
+        second = log.append(Update.delete(0), tid=0)
+        assert (first, second) == (0, 1)
+        assert len(log) == 2
+
+    def test_since(self):
+        log = UpdateLog()
+        log.append(Update.insert({"A": 1}), tid=0)
+        log.append(Update.insert({"A": 2}), tid=1)
+        log.append(Update.modify(1, {"A": 3}), tid=1)
+        assert [seq for seq, _u, _t in log.since(1)] == [1, 2]
+
+    def test_affected_tids_deduplicated_in_order(self):
+        log = UpdateLog()
+        log.append(Update.insert({"A": 1}), tid=5)
+        log.append(Update.modify(5, {"A": 2}), tid=5)
+        log.append(Update.delete(3), tid=3)
+        assert log.affected_tids() == [5, 3]

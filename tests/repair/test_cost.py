@@ -1,0 +1,108 @@
+"""Tests for the repair cost model and string distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.repair.cost import (
+    CostModel,
+    damerau_levenshtein,
+    normalized_distance,
+    similarity,
+)
+
+
+class TestDamerauLevenshtein:
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("ab", "abc", 1),
+            ("abcd", "abdc", 1),  # transposition
+            ("kitten", "sitting", 3),
+            ("", "xyz", 3),
+        ],
+    )
+    def test_known_distances(self, left, right, expected):
+        assert damerau_levenshtein(left, right) == expected
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_and_identity(self, left, right):
+        assert damerau_levenshtein(left, right) == damerau_levenshtein(right, left)
+        assert damerau_levenshtein(left, left) == 0
+
+    @given(st.text(max_size=10), st.text(max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_longer_length(self, left, right):
+        assert damerau_levenshtein(left, right) <= max(len(left), len(right))
+
+
+class TestNormalizedDistance:
+    def test_equal_values(self):
+        assert normalized_distance("x", "x") == 0.0
+        assert normalized_distance(None, None) == 0.0
+
+    def test_null_change_costs_one(self):
+        assert normalized_distance(None, "x") == 1.0
+        assert normalized_distance("x", None) == 1.0
+
+    def test_numeric_relative_difference(self):
+        assert normalized_distance(100, 110) == pytest.approx(10 / 110)
+        assert normalized_distance(0, 1000) == 1.0
+
+    def test_string_distance_normalised(self):
+        assert 0 < normalized_distance("Mayfield", "Mayfeild") < 0.5
+        assert normalized_distance("abc", "xyz") == 1.0
+
+    @given(st.one_of(st.text(max_size=10), st.integers(-1000, 1000), st.none()),
+           st.one_of(st.text(max_size=10), st.integers(-1000, 1000), st.none()))
+    @settings(max_examples=80, deadline=None)
+    def test_always_in_unit_interval(self, left, right):
+        assert 0.0 <= normalized_distance(left, right) <= 1.0
+
+    def test_similarity_complement(self):
+        assert similarity("ab", "ab") == 1.0
+        assert similarity(None, "x") == 0.0
+
+
+class TestCostModel:
+    def test_default_weight(self):
+        model = CostModel.uniform(2.0)
+        assert model.weight(0, "A") == 2.0
+
+    def test_attribute_weight_overrides_default(self):
+        model = CostModel(attribute_weights={"A": 5.0})
+        assert model.weight(1, "A") == 5.0
+        assert model.weight(1, "B") == 1.0
+
+    def test_cell_weight_overrides_attribute(self):
+        model = CostModel(attribute_weights={"A": 5.0})
+        model.set_cell_weight(3, "A", 0.1)
+        assert model.weight(3, "A") == 0.1
+        assert model.weight(4, "A") == 5.0
+
+    def test_protect_cell_makes_change_expensive(self):
+        model = CostModel.uniform()
+        model.protect_cell(0, "A")
+        assert model.change_cost(0, "A", "x", "y") > 1000
+
+    def test_change_cost_scales_with_distance(self):
+        model = CostModel.uniform()
+        small = model.change_cost(0, "A", "Mayfield", "Mayfeild")
+        large = model.change_cost(0, "A", "Mayfield", "Zanzibar")
+        assert small < large
+
+    def test_fresh_penalty_applied(self):
+        model = CostModel.uniform()
+        base = model.change_cost(0, "A", "x", "completely-new")
+        fresh = model.change_cost(0, "A", "x", "completely-new", fresh=True)
+        assert fresh == pytest.approx(base * model.fresh_value_penalty)
+
+    def test_repair_cost_sums_changes(self):
+        model = CostModel.uniform()
+        total = model.repair_cost({(0, "A"): ("x", "y"), (1, "B"): ("u", "u")})
+        assert total == pytest.approx(model.change_cost(0, "A", "x", "y"))

@@ -1,0 +1,97 @@
+"""Tests for incremental repair (IncRepair)."""
+
+import pytest
+
+from repro.core.satisfaction import satisfies_all, violating_tids
+from repro.datasets import generate_customers, paper_cfds
+from repro.errors import RepairError
+from repro.repair.incremental import IncrementalRepairer, remaining_dirty_tids
+from repro.repair.repairer import BatchRepairer
+
+
+@pytest.fixture
+def cleansed_customers(customer_cfds):
+    """A relation that already satisfies the paper's CFDs."""
+    return generate_customers(80, seed=13)
+
+
+class TestRepairUpdates:
+    def test_only_updated_tuples_are_modified(self, cleansed_customers, customer_cfds):
+        relation = cleansed_customers
+        # Corrupt one tuple's country so it clashes with its country code group.
+        relation.update(0, {"CNT": "XX"})
+        repairer = IncrementalRepairer()
+        repair = repairer.repair_updates(relation, customer_cfds, [0])
+        assert repair.changed_tids() <= {0}
+        repairer.verify_untouched(repair, protected_tids=set(relation.tids()) - {0})
+
+    def test_updated_tuple_converges_to_existing_value(self, cleansed_customers, customer_cfds):
+        relation = cleansed_customers
+        original_country = relation.value(0, "CNT")
+        relation.update(0, {"CNT": "XX"})
+        repair = IncrementalRepairer().repair_updates(relation, customer_cfds, [0])
+        assert repair.repaired.value(0, "CNT") == original_country
+        assert satisfies_all(repair.repaired, customer_cfds)
+
+    def test_clean_update_is_noop(self, cleansed_customers, customer_cfds):
+        relation = cleansed_customers
+        relation.update(0, {"NAME": "Renamed Person"})  # NAME is unconstrained
+        repair = IncrementalRepairer().repair_updates(relation, customer_cfds, [0])
+        assert repair.is_noop()
+
+    def test_unknown_tids_are_ignored(self, cleansed_customers, customer_cfds):
+        repair = IncrementalRepairer().repair_updates(cleansed_customers, customer_cfds, [9999])
+        assert repair.is_noop()
+
+
+class TestInsertAndRepair:
+    def test_inserted_violating_row_is_fixed(self, cleansed_customers, customer_cfds):
+        relation = cleansed_customers
+        template = relation.get(0)
+        bad_row = dict(template)
+        bad_row["STR"] = "Completely Different Street"
+        repairer = IncrementalRepairer()
+        new_tids, repair = repairer.insert_and_repair(relation, customer_cfds, [bad_row])
+        assert len(new_tids) == 1
+        assert repair.changed_tids() <= set(new_tids)
+        assert not remaining_dirty_tids(repair.repaired, customer_cfds)
+
+    def test_multiple_inserts(self, cleansed_customers, customer_cfds):
+        relation = cleansed_customers
+        template = relation.get(0)
+        rows = []
+        for street in ("Street A", "Street B"):
+            row = dict(template)
+            row["STR"] = street
+            rows.append(row)
+        new_tids, repair = IncrementalRepairer().insert_and_repair(
+            relation, customer_cfds, rows
+        )
+        assert len(new_tids) == 2
+        assert repair.changed_tids() <= set(new_tids)
+        assert satisfies_all(repair.repaired, customer_cfds)
+
+
+class TestVerifyUntouched:
+    def test_detects_protected_modifications(self, customer_relation, customer_cfds):
+        repair = BatchRepairer().repair(customer_relation, customer_cfds)
+        repairer = IncrementalRepairer()
+        with pytest.raises(RepairError):
+            repairer.verify_untouched(repair, protected_tids=repair.changed_tids())
+
+    def test_passes_when_nothing_protected_changed(self, customer_relation, customer_cfds):
+        repair = BatchRepairer().repair(customer_relation, customer_cfds)
+        IncrementalRepairer().verify_untouched(repair, protected_tids=[999])
+
+
+class TestIncrementalVsBatchAgreement:
+    def test_both_restore_consistency(self, cleansed_customers, customer_cfds):
+        relation = cleansed_customers
+        relation.update(3, {"CITY": "WRONGCITY"})
+        incremental = IncrementalRepairer().repair_updates(relation, customer_cfds, [3])
+        batch = BatchRepairer().repair(relation, customer_cfds)
+        assert satisfies_all(incremental.repaired, customer_cfds)
+        assert satisfies_all(batch.repaired, customer_cfds)
+        # The incremental repair touches at most the updated tuple; batch may
+        # touch more (it is free to change the other side of the conflict).
+        assert incremental.changed_tids() <= {3}

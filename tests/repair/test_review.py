@@ -1,0 +1,80 @@
+"""Tests for the repair review workflow (Fig. 5)."""
+
+import pytest
+
+from repro.errors import RepairError
+from repro.repair.repairer import BatchRepairer
+from repro.repair.review import RepairReview
+
+
+@pytest.fixture
+def review(customer_relation, customer_cfds):
+    repair = BatchRepairer().repair(customer_relation, customer_cfds)
+    return RepairReview(repair, customer_cfds)
+
+
+class TestInspection:
+    def test_modified_cells_and_tuples(self, review):
+        assert review.modified_cells()
+        assert review.modified_tuples()
+        for change in review.modified_cells():
+            assert change.tid in review.modified_tuples()
+
+    def test_tuple_diff_shows_old_and_new(self, review):
+        tid = review.modified_tuples()[0]
+        diff = review.tuple_diff(tid)
+        assert diff
+        for attribute, (old, new) in diff.items():
+            assert old != new
+
+    def test_alternatives_for_modified_cell(self, review):
+        change = next(c for c in review.modified_cells() if c.alternatives)
+        alternatives = review.alternatives(change.tid, change.attribute)
+        assert alternatives == list(change.alternatives)
+        costs = [cost for _value, cost in alternatives]
+        assert costs == sorted(costs)
+
+    def test_alternatives_for_untouched_cell_rejected(self, review):
+        with pytest.raises(RepairError):
+            review.alternatives(2, "NAME")
+
+    def test_summary_counts(self, review):
+        summary = review.summary()
+        assert summary["modified_cells"] == len(review.modified_cells())
+        assert summary["overrides"] == 0 and summary["reverts"] == 0
+
+
+class TestDecisions:
+    def test_accept_and_accept_all(self, review):
+        change = review.modified_cells()[0]
+        review.accept(change.tid, change.attribute)
+        assert (change.tid, change.attribute) not in review.pending_cells()
+        review.accept_all()
+        assert review.pending_cells() == []
+
+    def test_accept_unmodified_cell_rejected(self, review):
+        with pytest.raises(RepairError):
+            review.accept(2, "NAME")
+
+    def test_override_applies_value_and_reports_conflicts(self, review):
+        change = review.modified_cells()[0]
+        conflicts = review.override(change.tid, change.attribute, "Custom Value")
+        assert review.working.value(change.tid, change.attribute) == "Custom Value"
+        assert isinstance(conflicts, list)
+        assert review.summary()["overrides"] == 1
+
+    def test_revert_restores_original_and_reintroduces_conflict(self, review):
+        # Reverting the repaired street of tuple 0 brings back the phi2 conflict.
+        street_changes = [c for c in review.modified_cells() if c.attribute == "STR"]
+        if not street_changes:
+            pytest.skip("repair chose to fix the other tuple")
+        change = street_changes[0]
+        conflicts = review.revert(change.tid, change.attribute)
+        assert review.working.value(change.tid, change.attribute) == change.old_value
+        assert any(note.kind == "multi" for note in conflicts)
+
+    def test_finalise_returns_independent_copy(self, review):
+        final = review.finalise()
+        change = review.modified_cells()[0]
+        final.update(change.tid, {change.attribute: "Scratch"})
+        assert review.working.value(change.tid, change.attribute) != "Scratch"

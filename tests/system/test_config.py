@@ -1,0 +1,43 @@
+"""Tests for system configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.config import SemandaqConfig
+
+
+class TestSemandaqConfig:
+    def test_defaults_are_valid(self):
+        SemandaqConfig().validate()
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(repair_max_iterations=0).validate()
+
+    def test_invalid_majority(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(audit_majority=1.0).validate()
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(audit_majority=-0.1).validate()
+
+    def test_invalid_quality_levels(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(quality_levels=1).validate()
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(quality_strategy="rainbow").validate()
+
+    def test_invalid_attribute_weight(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(attribute_weights={"A": 0}).validate()
+
+    def test_custom_valid_config(self):
+        SemandaqConfig(
+            use_sql_detection=False,
+            repair_max_iterations=3,
+            audit_majority=0.8,
+            quality_levels=3,
+            quality_strategy="quantile",
+            attribute_weights={"CNT": 2.0},
+        ).validate()

@@ -1,0 +1,136 @@
+"""Tests for the Semandaq facade: the end-to-end workflow of the demo."""
+
+import pytest
+
+from repro import Semandaq, SemandaqConfig
+from repro.core.satisfaction import satisfies_all, violating_tids
+from repro.datasets import generate_customers, inject_noise, paper_cfds
+from repro.engine.csvio import dump_csv
+from repro.errors import ConfigurationError
+from repro.monitor.updates import Update
+
+
+class TestConnectAndSpecify:
+    def test_register_relation_and_schema_summary(self, system):
+        assert system.schema_summary() == {
+            "customer": ["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"]
+        }
+
+    def test_load_csv(self, customer_relation):
+        semandaq = Semandaq()
+        semandaq.load_csv(dump_csv(customer_relation), "customer")
+        assert "customer" in semandaq.schema_summary()
+
+    def test_add_cfd_from_text(self, customer_relation):
+        semandaq = Semandaq()
+        semandaq.register_relation(customer_relation)
+        cfd = semandaq.add_cfd("customer: [CC='44'] -> [CNT='UK']")
+        assert cfd.relation == "customer"
+        assert semandaq.check_constraints("customer").consistent
+
+    def test_discover_cfds(self):
+        semandaq = Semandaq()
+        reference = generate_customers(100, seed=61)
+        semandaq.register_relation(reference)
+        discovered = semandaq.discover_cfds(
+            reference, register=True, min_support=10, max_lhs_size=1
+        )
+        assert discovered
+        assert semandaq.detect("customer").is_clean()
+
+
+class TestDetectAuditExplore:
+    def test_detect_and_cached_report(self, system):
+        report = system.detect("customer")
+        assert report.total_violations() >= 3
+        assert system.last_report("customer") is report
+
+    def test_audit_matches_detection(self, system):
+        system.detect("customer")
+        audit = system.audit("customer")
+        assert audit.tuple_count == 6
+        assert audit.dirty_tuple_count() == 3
+
+    def test_explorer_and_session(self, system):
+        explorer = system.explorer("customer")
+        assert len(explorer.list_cfds()) == 4
+        session = system.exploration_session("customer")
+        assert session.level == "cfd"
+
+    def test_native_detection_configuration(self, customer_relation, customer_cfds):
+        semandaq = Semandaq(SemandaqConfig(use_sql_detection=False))
+        semandaq.register_relation(customer_relation)
+        semandaq.add_cfds(customer_cfds)
+        assert semandaq.detect("customer").total_violations() >= 3
+
+
+class TestRepairReviewApply:
+    def test_repair_and_review(self, system):
+        repair = system.repair("customer")
+        assert repair.changes
+        review = system.review("customer")
+        assert review.modified_cells()
+
+    def test_apply_repair_replaces_relation(self, system, customer_cfds):
+        system.repair("customer")
+        repaired = system.apply_repair("customer")
+        assert satisfies_all(repaired, customer_cfds)
+        assert system.detect("customer").is_clean()
+
+    def test_apply_repair_without_candidate_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.apply_repair("customer")
+
+    def test_apply_reviewed_relation(self, system, customer_cfds):
+        system.repair("customer")
+        review = system.review("customer")
+        reviewed = review.finalise()
+        applied = system.apply_repair("customer", reviewed)
+        assert applied.to_list() == reviewed.to_list()
+
+    def test_clean_pipeline_summary(self, customer_relation, customer_cfds):
+        semandaq = Semandaq()
+        semandaq.register_relation(customer_relation.copy())
+        semandaq.add_cfds(customer_cfds)
+        summary = semandaq.clean("customer")
+        assert summary["violations_before"] > 0
+        assert summary["violations_after"] == 0
+        assert summary["cells_changed"] > 0
+
+
+class TestMonitoring:
+    def test_monitor_detect_mode(self, system):
+        monitor = system.monitor("customer")
+        assert monitor.summary()["mode"] == "detect"
+
+    def test_monitor_switches_to_repair_after_apply(self, system, customer_cfds):
+        system.repair("customer")
+        system.apply_repair("customer")
+        monitor = system.monitor("customer")
+        assert monitor.summary()["mode"] == "repair"
+        relation = system.database.relation("customer")
+        bad_row = dict(relation.get(2))
+        bad_row["CNT"] = "FR"  # CC=01 but CNT=FR clashes with phi3 group
+        monitor.apply_batch([Update.insert(bad_row)])
+        assert not violating_tids(relation, customer_cfds)
+
+    def test_monitor_explicit_mode_override(self, system):
+        monitor = system.monitor("customer", cleansed=True)
+        assert monitor.summary()["mode"] == "repair"
+        system.monitor("customer", cleansed=False)
+        assert monitor.summary()["mode"] == "detect"
+
+
+class TestEndToEndOnGeneratedData:
+    def test_full_workflow_reduces_dirtiness(self):
+        clean = generate_customers(150, seed=71)
+        noise = inject_noise(clean, rate=0.04, seed=72, attributes=["CNT", "CITY", "CC"])
+        semandaq = Semandaq()
+        semandaq.register_relation(noise.dirty)
+        semandaq.add_cfds(paper_cfds())
+        before = semandaq.audit("customer").dirty_percentage()
+        semandaq.repair("customer")
+        semandaq.apply_repair("customer")
+        after = semandaq.audit("customer").dirty_percentage()
+        assert after <= before
+        assert after == 0.0 or semandaq.last_report("customer").total_violations() == 0
