@@ -6,6 +6,9 @@ VLDB 2008) as a Python library:
 
 * :mod:`repro.engine` — the relational substrate (typed relations, indexes,
   a SQL subset, CSV/JSON I/O);
+* :mod:`repro.backends` — pluggable storage backends the detection SQL is
+  pushed down to (the embedded engine, or real-DBMS pushdown via the stdlib
+  ``sqlite3`` module), selected with ``SemandaqConfig(backend=...)``;
 * :mod:`repro.core` — the CFD formalism (pattern tuples, tableaux, parsing,
   semantics);
 * :mod:`repro.analysis` — static analysis (consistency, implication, covers);
@@ -34,6 +37,14 @@ Quickstart::
     repair = system.repair("customer")
 """
 
+from .backends import (
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from .core.cfd import CFD
 from .core.parser import format_cfd, parse_cfd, parse_cfds
 from .core.pattern import PatternTuple, PatternValue
@@ -58,6 +69,12 @@ __all__ = [
     "parse_cfds",
     "format_cfd",
     "Database",
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
     "Relation",
     "RelationSchema",
     "AttributeDef",

@@ -1,0 +1,49 @@
+"""Pluggable storage backends: the "Database Servers" layer of Semandaq.
+
+The paper's system compiles CFD violation detection to SQL and pushes it
+down to the underlying DBMS.  This package makes that layer pluggable:
+
+* :class:`~repro.backends.base.StorageBackend` — the narrow interface
+  (catalog ops, bulk loading, tid-stable row access, ``execute``);
+* :class:`~repro.backends.memory.MemoryBackend` — adapter over the embedded
+  engine (:mod:`repro.engine`);
+* :class:`~repro.backends.sqlite.SqliteBackend` — real-DBMS pushdown on the
+  stdlib ``sqlite3`` module (WAL, ``synchronous=NORMAL``, tid primary keys,
+  ``executemany`` bulk loads, automatic CFD-LHS indexes);
+* :mod:`~repro.backends.dialect` — per-backend SQL dialect descriptions the
+  detection-SQL generator consults, so the same ``Q_C``/``Q_V`` queries run
+  unmodified everywhere;
+* :mod:`~repro.backends.registry` — name-based backend construction
+  (``create_backend``), selected through ``SemandaqConfig(backend=...)``.
+
+To add a backend: implement :class:`StorageBackend`, give it a
+:class:`~repro.backends.dialect.SqlDialect` describing how non-string
+columns are rendered as strings and whether ``?`` parameters are supported,
+and register a factory with :func:`register_backend`.
+"""
+
+from .base import StorageBackend
+from .dialect import MEMORY_DIALECT, SQLITE_DIALECT, MemoryDialect, SqlDialect, SqliteDialect
+from .memory import MemoryBackend
+from .registry import (
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from .sqlite import SqliteBackend
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "SqlDialect",
+    "MemoryDialect",
+    "SqliteDialect",
+    "MEMORY_DIALECT",
+    "SQLITE_DIALECT",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "unregister_backend",
+]

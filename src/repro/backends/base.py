@@ -1,0 +1,142 @@
+"""The storage-backend interface: the "Database Servers" layer made pluggable.
+
+Semandaq's defining architecture decision is that CFD violation detection is
+compiled to SQL and *pushed down* to the underlying DBMS.  A
+:class:`StorageBackend` is the narrow contract that pushdown needs from a
+database server:
+
+* **catalog operations** — create/drop/list relations, schema lookup;
+* **bulk loading** — :meth:`insert_many` for loading rows efficiently
+  (CSV import, tableau materialisation);
+* **tid-stable row access** — every stored row keeps the stable integer
+  tuple id (``tid``) the detector, auditor and cleanser use to refer to it,
+  across backends and across round trips;
+* **query execution** — :meth:`execute` runs a detection query (in the
+  backend's own :class:`~repro.backends.dialect.SqlDialect`) and returns
+  plain row dicts;
+* **index management** — :meth:`ensure_index` lets the detector create
+  indexes on CFD LHS attributes before running the grouping queries.
+
+Two implementations ship with the library: a
+:class:`~repro.backends.memory.MemoryBackend` adapter over the embedded
+engine, and a :class:`~repro.backends.sqlite.SqliteBackend` over the stdlib
+``sqlite3`` module.  New backends register themselves with
+:func:`repro.backends.registry.register_backend` and become selectable via
+``SemandaqConfig(backend=...)``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..engine.relation import Relation
+from ..engine.types import RelationSchema
+from .dialect import SqlDialect
+
+
+class StorageBackend(abc.ABC):
+    """Abstract interface every storage backend implements."""
+
+    #: short backend name (matches its registry key)
+    name: str = "abstract"
+    #: SQL dialect the backend's ``execute`` understands
+    dialect: SqlDialect
+
+    # -- catalog ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_relation(
+        self,
+        schema: RelationSchema,
+        rows: Optional[Iterable[Mapping[str, Any]]] = None,
+        replace: bool = False,
+    ) -> None:
+        """Create a relation from ``schema`` and optionally bulk-load ``rows``."""
+
+    @abc.abstractmethod
+    def add_relation(self, relation: Relation, replace: bool = False) -> None:
+        """Store an existing in-memory :class:`Relation`, preserving its tids."""
+
+    @abc.abstractmethod
+    def drop_relation(self, name: str) -> None:
+        """Remove relation ``name``; raises ``UnknownRelationError`` if absent."""
+
+    @abc.abstractmethod
+    def has_relation(self, name: str) -> bool:
+        """Whether a relation called ``name`` exists."""
+
+    @abc.abstractmethod
+    def relation_names(self) -> List[str]:
+        """Names of all stored relations, sorted."""
+
+    @abc.abstractmethod
+    def schema(self, name: str) -> RelationSchema:
+        """The schema of relation ``name``."""
+
+    def schema_summary(self) -> Dict[str, List[str]]:
+        """Map each relation name to its attribute names."""
+        return {
+            name: self.schema(name).attribute_names for name in self.relation_names()
+        }
+
+    # -- rows -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def insert_many(
+        self, name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> List[int]:
+        """Bulk-insert ``rows`` into relation ``name``; returns assigned tids."""
+
+    @abc.abstractmethod
+    def get_row(self, name: str, tid: int) -> Dict[str, Any]:
+        """The row stored under tuple id ``tid``."""
+
+    @abc.abstractmethod
+    def iter_rows(self, name: str) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        """Iterate ``(tid, row)`` pairs in ascending tid order."""
+
+    @abc.abstractmethod
+    def row_count(self, name: str) -> int:
+        """Number of rows stored in relation ``name``."""
+
+    @abc.abstractmethod
+    def to_relation(self, name: str) -> Relation:
+        """Materialise relation ``name`` as an in-memory :class:`Relation`.
+
+        Tuple ids are preserved exactly.  Backends that already hold an
+        in-memory :class:`Relation` may return the live object; callers
+        must not rely on the result being a private copy.
+        """
+
+    # -- queries and indexes -------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(
+        self, sql: str, parameters: Optional[Sequence[Any]] = None
+    ) -> List[Dict[str, Any]]:
+        """Run ``sql`` (in this backend's dialect) and return rows as dicts.
+
+        Statements that produce no rows (DDL, DML) return an empty list.
+        ``parameters`` bind to ``?`` placeholders on dialects that support
+        them (:attr:`SqlDialect.supports_parameters`).
+        """
+
+    @abc.abstractmethod
+    def ensure_index(self, name: str, attributes: Sequence[str]) -> None:
+        """Create an index on ``attributes`` of relation ``name`` if missing.
+
+        The detector calls this for every CFD LHS before running the
+        grouping queries, mirroring the paper's reliance on DBMS indexes.
+        """
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (connections, file handles)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"relations={self.relation_names()})"
+        )

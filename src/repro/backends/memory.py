@@ -1,0 +1,95 @@
+"""The in-memory backend: an adapter over the embedded engine.
+
+:class:`MemoryBackend` wraps a :class:`repro.engine.database.Database` (the
+engine the seed repository ran everything on) behind the
+:class:`~repro.backends.base.StorageBackend` interface.  Detection SQL runs
+through the embedded SQL-subset executor; indexes map to the engine's hash
+indexes.  The wrapped database may be shared with other components — the
+Semandaq facade shares its working :class:`Database` with this backend so
+the memory configuration has exactly one copy of the data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..engine.database import Database
+from ..engine.relation import Relation
+from ..engine.types import RelationSchema
+from .base import StorageBackend
+from .dialect import MEMORY_DIALECT
+
+
+class MemoryBackend(StorageBackend):
+    """Storage backend over the embedded in-memory engine."""
+
+    name = "memory"
+    dialect = MEMORY_DIALECT
+
+    def __init__(self, database: Optional[Database] = None):
+        #: the wrapped database; exposed so callers can share it
+        self.database = database if database is not None else Database()
+
+    # -- catalog ---------------------------------------------------------------
+
+    def create_relation(
+        self,
+        schema: RelationSchema,
+        rows: Optional[Iterable[Mapping[str, Any]]] = None,
+        replace: bool = False,
+    ) -> None:
+        self.database.create_relation(
+            schema,
+            rows=[dict(row) for row in rows] if rows is not None else None,
+            replace=replace,
+        )
+
+    def add_relation(self, relation: Relation, replace: bool = False) -> None:
+        self.database.add_relation(relation, replace=replace)
+
+    def drop_relation(self, name: str) -> None:
+        self.database.drop_relation(name)
+
+    def has_relation(self, name: str) -> bool:
+        return self.database.has_relation(name)
+
+    def relation_names(self) -> List[str]:
+        return self.database.relation_names()
+
+    def schema(self, name: str) -> RelationSchema:
+        return self.database.relation(name).schema
+
+    # -- rows -------------------------------------------------------------------
+
+    def insert_many(self, name: str, rows: Iterable[Mapping[str, Any]]) -> List[int]:
+        return self.database.relation(name).insert_many(dict(row) for row in rows)
+
+    def get_row(self, name: str, tid: int) -> Dict[str, Any]:
+        return self.database.relation(name).get(tid)
+
+    def iter_rows(self, name: str) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        return self.database.relation(name).rows()
+
+    def row_count(self, name: str) -> int:
+        return len(self.database.relation(name))
+
+    def to_relation(self, name: str) -> Relation:
+        # The live object: the engine already *is* an in-memory relation, so
+        # materialisation is free and mutations stay visible to the backend.
+        return self.database.relation(name)
+
+    # -- queries and indexes -------------------------------------------------------
+
+    def execute(
+        self, sql: str, parameters: Optional[Sequence[Any]] = None
+    ) -> List[Dict[str, Any]]:
+        result = self.database.execute(sql, parameters)
+        rows = getattr(result, "rows", None)
+        return rows if rows is not None else []
+
+    def ensure_index(self, name: str, attributes: Sequence[str]) -> None:
+        # The embedded SQL executor does not consult hash indexes, but this
+        # is the exact index the detector's group-member enumeration
+        # (Relation.lookup on the CFD LHS) creates lazily anyway; building
+        # it here just front-loads that work.
+        self.database.relation(name).create_index(attributes)

@@ -2,16 +2,25 @@
 
 The detector compiles each CFD into SQL (see
 :mod:`repro.detection.sqlgen`), materialises the pattern tableau as a
-relation, runs the generated queries through the database, and assembles a
+relation in the storage backend, runs the generated queries through the
+backend — the paper's pushdown to the underlying DBMS — and assembles a
 :class:`~repro.detection.violations.ViolationReport`.  A native (pure
 Python) detection path that bypasses SQL is kept both as a correctness
 oracle and for the SQL-vs-native ablation benchmark.
+
+The detector accepts either a :class:`~repro.engine.database.Database`
+(wrapped in a :class:`~repro.backends.memory.MemoryBackend`, preserving the
+seed API) or any :class:`~repro.backends.base.StorageBackend`; detection SQL
+is generated in the backend's dialect, and CFD LHS indexes are created on
+the backend before the grouping queries run.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..backends.base import StorageBackend
+from ..backends.memory import MemoryBackend
 from ..core.cfd import CFD
 from ..core.pattern import PatternTuple
 from ..core.satisfaction import (
@@ -22,7 +31,7 @@ from ..core.tableau import tableau_to_relation
 from ..engine.database import Database
 from ..engine.relation import Relation
 from ..errors import DetectionError
-from .sqlgen import DetectionSqlGenerator, tableau_relation_name
+from .sqlgen import DetectionSqlGenerator, SqlQuery, tableau_relation_name
 from .violations import MULTI, SINGLE, Violation, ViolationReport
 
 
@@ -44,8 +53,15 @@ def _sub_cfd(cfd: CFD, rhs_attribute: str) -> CFD:
 class ErrorDetector:
     """Detects single-tuple and multi-tuple CFD violations in a relation."""
 
-    def __init__(self, database: Database, use_sql: bool = True):
-        self.database = database
+    def __init__(
+        self, database: Union[Database, StorageBackend], use_sql: bool = True
+    ):
+        if isinstance(database, StorageBackend):
+            self.backend = database
+        else:
+            self.backend = MemoryBackend(database)
+        #: the wrapped in-memory database, when the backend exposes one
+        self.database = getattr(self.backend, "database", None)
         self.use_sql = use_sql
         #: SQL statements issued by the last ``detect`` call (for inspection).
         self.last_sql: List[str] = []
@@ -54,7 +70,7 @@ class ErrorDetector:
 
     def detect(self, relation_name: str, cfds: Sequence[CFD]) -> ViolationReport:
         """Run detection of every CFD in ``cfds`` over ``relation_name``."""
-        relation = self.database.relation(relation_name)
+        relation = self.backend.to_relation(relation_name)
         self.last_sql = []
         for cfd in cfds:
             if cfd.relation != relation_name:
@@ -106,10 +122,12 @@ class ErrorDetector:
     def _detect_sql(
         self, relation: Relation, parent: CFD, cfd: CFD, cfd_index: int
     ) -> List[Violation]:
-        generator = DetectionSqlGenerator(relation.schema)
+        generator = DetectionSqlGenerator(relation.schema, dialect=self.backend.dialect)
         tableau_name = tableau_relation_name(cfd, cfd_index) + f"_{cfd.rhs[0]}"
         tableau = tableau_to_relation(cfd, tableau_name)
-        self.database.add_relation(tableau, replace=True)
+        if cfd.lhs:
+            self.backend.ensure_index(relation.name, cfd.lhs)
+        self.backend.add_relation(tableau, replace=True)
         try:
             queries = generator.generate(cfd, tableau_name)
             violations: List[Violation] = []
@@ -121,23 +139,23 @@ class ErrorDetector:
             )
             return violations
         finally:
-            self.database.drop_relation(tableau_name)
+            self.backend.drop_relation(tableau_name)
 
     def _run_single_query(
         self,
         relation: Relation,
         parent: CFD,
         cfd: CFD,
-        sql: Optional[str],
+        query: Optional[SqlQuery],
     ) -> List[Violation]:
-        if sql is None:
+        if query is None:
             return []
-        self.last_sql.append(sql)
-        result = self.database.execute(sql)
+        self.last_sql.append(query.sql)
+        rows = self.backend.execute(query.sql, query.parameters)
         rhs_attribute = cfd.rhs[0]
         seen: Set[int] = set()
         violations: List[Violation] = []
-        for row in result.rows:
+        for row in rows:
             tid = row["tid"]
             if tid in seen:
                 continue
@@ -161,16 +179,16 @@ class ErrorDetector:
         relation: Relation,
         parent: CFD,
         cfd: CFD,
-        sql: Optional[str],
+        query: Optional[SqlQuery],
     ) -> List[Violation]:
-        if sql is None:
+        if query is None:
             return []
-        self.last_sql.append(sql)
-        result = self.database.execute(sql)
+        self.last_sql.append(query.sql)
+        rows = self.backend.execute(query.sql, query.parameters)
         rhs_attribute = cfd.rhs[0]
         violations: List[Violation] = []
         seen_groups: Set[Tuple[Any, ...]] = set()
-        for row in result.rows:
+        for row in rows:
             lhs_values = tuple(row[attr] for attr in cfd.lhs)
             if lhs_values in seen_groups:
                 continue

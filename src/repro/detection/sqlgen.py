@@ -15,15 +15,24 @@ relational encoding of the pattern tableau ``Tp``:
 Wildcards are encoded as the literal ``'_'`` inside the tableau relation, so
 the matching predicate for an LHS attribute ``X`` is
 ``(tab.X = '_' OR tab.X = t.X)``.  For non-string attributes the data side is
-wrapped in ``CONCAT`` so the comparison happens on the string encoding used
-by the tableau.
+rendered as a string through the backend's
+:class:`~repro.backends.dialect.SqlDialect` (``CONCAT(...)`` on the embedded
+engine, ``CAST(... AS TEXT)`` on SQLite), so the comparison happens on the
+string encoding used by the tableau.  The generator is dialect-aware: the
+same :class:`DetectionQueries` run unmodified on every registered backend.
+
+On dialects that support query parameters, inline literal values (the
+wildcard token) travel out-of-band as ``?`` parameters — SQL strings never
+embed data values there.  The in-memory dialect keeps the legacy inline
+quoting (:func:`_quote`), which is the only remaining user of it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..backends.dialect import MEMORY_DIALECT, SqlDialect
 from ..core.cfd import CFD
 from ..core.pattern import WILDCARD_TOKEN
 from ..core.tableau import PATTERN_ID_COLUMN
@@ -36,7 +45,27 @@ TABLEAU_ALIAS = "tab"
 
 
 def _quote(value: str) -> str:
+    """Inline-quote a literal for the in-memory dialect (no parameter channel)."""
     return "'" + str(value).replace("'", "''") + "'"
+
+
+@dataclass(frozen=True)
+class SqlQuery:
+    """One generated query: SQL text plus its bound parameter values.
+
+    ``parameters`` is empty on dialects without parameter support (values
+    are inlined) and for queries whose placeholders are bound by the caller
+    at execution time (the group-members query).
+    """
+
+    sql: str
+    parameters: Tuple[Any, ...] = ()
+
+    def __str__(self) -> str:
+        return self.sql
+
+    def __contains__(self, fragment: str) -> bool:
+        return fragment in self.sql
 
 
 @dataclass(frozen=True)
@@ -45,49 +74,58 @@ class DetectionQueries:
 
     cfd_id: str
     tableau_name: str
-    single_sql: Optional[str]
-    multi_sql: Optional[str]
-    group_members_sql: Optional[str]
+    single_sql: Optional[SqlQuery]
+    multi_sql: Optional[SqlQuery]
+    group_members_sql: Optional[SqlQuery]
 
     def all_sql(self) -> List[str]:
-        """Every generated query, for logging/inspection."""
-        return [sql for sql in (self.single_sql, self.multi_sql) if sql]
+        """Every generated query's SQL text, for logging/inspection."""
+        return [query.sql for query in (self.single_sql, self.multi_sql) if query]
 
 
 class DetectionSqlGenerator:
-    """Compiles CFDs into detection SQL against a given data relation schema."""
+    """Compiles CFDs into detection SQL against a given data relation schema.
 
-    def __init__(self, schema: RelationSchema):
+    ``dialect`` selects the SQL flavour; it defaults to the embedded
+    engine's dialect so existing callers keep their behaviour.
+    """
+
+    def __init__(self, schema: RelationSchema, dialect: Optional[SqlDialect] = None):
         self.schema = schema
+        self.dialect = dialect or MEMORY_DIALECT
 
     # -- helpers ----------------------------------------------------------------
 
     def _data_column(self, attribute: str) -> str:
-        """Render the data-side column, wrapping non-strings in CONCAT."""
+        """Render the data-side column as the tableau's string encoding."""
         dtype = self.schema.attribute(attribute).dtype
-        column = f"{DATA_ALIAS}.{attribute}"
-        if dtype is DataType.STRING:
-            return column
-        return f"CONCAT({column})"
+        return self.dialect.string_expr(f"{DATA_ALIAS}.{attribute}", dtype)
 
-    def _match_predicate(self, attribute: str) -> str:
+    def _wildcard(self, params: List[Any]) -> str:
+        """Render the wildcard-token literal: a ``?`` parameter when supported."""
+        if self.dialect.supports_parameters:
+            params.append(WILDCARD_TOKEN)
+            return "?"
+        return _quote(WILDCARD_TOKEN)
+
+    def _match_predicate(self, attribute: str, params: List[Any]) -> str:
         """The per-attribute LHS matching predicate against the tableau."""
         tab_column = f"{TABLEAU_ALIAS}.{attribute}"
         data_column = self._data_column(attribute)
         return (
-            f"({tab_column} = {_quote(WILDCARD_TOKEN)} OR {tab_column} = {data_column})"
+            f"({tab_column} = {self._wildcard(params)} OR {tab_column} = {data_column})"
         )
 
-    def _lhs_conditions(self, cfd: CFD) -> List[str]:
+    def _lhs_conditions(self, cfd: CFD, params: List[Any]) -> List[str]:
         conditions: List[str] = []
         for attribute in cfd.lhs:
             conditions.append(f"{DATA_ALIAS}.{attribute} IS NOT NULL")
-            conditions.append(self._match_predicate(attribute))
+            conditions.append(self._match_predicate(attribute, params))
         return conditions
 
     # -- query generation ---------------------------------------------------------
 
-    def single_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[str]:
+    def single_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[SqlQuery]:
         """``Q_C``: detect tuples violating a constant RHS pattern on their own.
 
         Returns ``None`` when no pattern tuple of the CFD has a constant RHS.
@@ -99,13 +137,14 @@ class DetectionSqlGenerator:
         )
         if not rhs_constant_exists:
             return None
-        conditions = self._lhs_conditions(cfd)
+        params: List[Any] = []
+        conditions = self._lhs_conditions(cfd, params)
         rhs_parts: List[str] = []
         for attribute in cfd.rhs:
             tab_column = f"{TABLEAU_ALIAS}.{attribute}"
             data_column = self._data_column(attribute)
             rhs_parts.append(
-                f"({tab_column} <> {_quote(WILDCARD_TOKEN)} AND "
+                f"({tab_column} <> {self._wildcard(params)} AND "
                 f"({data_column} <> {tab_column} OR {DATA_ALIAS}.{attribute} IS NULL))"
             )
         rhs_condition = "(" + " OR ".join(rhs_parts) + ")"
@@ -116,13 +155,14 @@ class DetectionSqlGenerator:
         ]
         for attribute in cfd.rhs:
             select_columns.append(f"{TABLEAU_ALIAS}.{attribute} AS expected_{attribute}")
-        return (
+        sql = (
             f"SELECT {', '.join(select_columns)}\n"
             f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
             f"WHERE {where}"
         )
+        return SqlQuery(sql, tuple(params))
 
-    def multi_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[str]:
+    def multi_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[SqlQuery]:
         """``Q_V``: find LHS groups with >1 distinct value on a wildcard RHS.
 
         Returns ``None`` when the CFD has no wildcard RHS position or an
@@ -141,9 +181,10 @@ class DetectionSqlGenerator:
         if not wildcard_rhs:
             return None
         rhs_attribute = wildcard_rhs[0]
-        conditions = self._lhs_conditions(cfd)
+        params: List[Any] = []
+        conditions = self._lhs_conditions(cfd, params)
         conditions.append(
-            f"{TABLEAU_ALIAS}.{rhs_attribute} = {_quote(WILDCARD_TOKEN)}"
+            f"{TABLEAU_ALIAS}.{rhs_attribute} = {self._wildcard(params)}"
         )
         conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
         group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
@@ -156,19 +197,22 @@ class DetectionSqlGenerator:
             f"COUNT(DISTINCT {self._data_column(rhs_attribute)}) AS distinct_rhs"
         )
         select_columns.append(f"COUNT(*) AS group_size")
-        return (
+        sql = (
             f"SELECT {', '.join(select_columns)}\n"
             f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
             f"WHERE {' AND '.join(conditions)}\n"
             f"GROUP BY {', '.join(group_columns)}\n"
             f"HAVING COUNT(DISTINCT {self._data_column(rhs_attribute)}) > 1"
         )
+        return SqlQuery(sql, tuple(params))
 
-    def group_members_query(self, cfd: CFD) -> Optional[str]:
+    def group_members_query(self, cfd: CFD) -> Optional[SqlQuery]:
         """Parameterised query returning the tuples of one violating LHS group.
 
         The data monitor and the explorer use it to enumerate the members of
-        a multi-tuple violation; parameters are the LHS values in order.
+        a multi-tuple violation; the ``?`` placeholders are bound by the
+        caller to the LHS values (in order) at execution time, so
+        ``parameters`` is empty here.
         """
         if not cfd.lhs:
             return None
@@ -176,11 +220,12 @@ class DetectionSqlGenerator:
         select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
             f"{DATA_ALIAS}.{attr} AS {attr}" for attr in cfd.rhs
         ]
-        return (
+        sql = (
             f"SELECT {', '.join(select_columns)}\n"
             f"FROM {cfd.relation} {DATA_ALIAS}\n"
             f"WHERE {' AND '.join(conditions)}"
         )
+        return SqlQuery(sql)
 
     def generate(self, cfd: CFD, tableau_name: str) -> DetectionQueries:
         """Generate all detection SQL for one (merged or normalised) CFD."""

@@ -4,6 +4,10 @@ Semandaq connects to existing relational data; in this reproduction, data
 enters the engine either programmatically or through these loaders.  The CSV
 loader can infer a schema (all-STRING by default, with optional numeric
 inference) and the writers round-trip data for the examples and benchmarks.
+
+:func:`load_csv_into` loads a CSV straight into a storage backend
+(:mod:`repro.backends`) through its bulk-insert path — on the SQLite
+backend that is a single ``executemany`` batch instead of per-row inserts.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ import csv
 import io
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SchemaError
 from .relation import Relation
@@ -63,18 +67,19 @@ def _rows_from_csv_text(text: str) -> List[Dict[str, str]]:
     return [dict(row) for row in reader]
 
 
-def load_csv(
+def _parse_csv(
     source: Union[PathLike, str],
     name: str,
-    schema: Optional[RelationSchema] = None,
-    infer_types: bool = True,
-    null_token: str = "",
-) -> Relation:
-    """Load a CSV file (or CSV text) into a new :class:`Relation`.
+    schema: Optional[RelationSchema],
+    infer_types: bool,
+    null_token: str,
+) -> Tuple[RelationSchema, List[Dict[str, Optional[str]]]]:
+    """Shared CSV front end: resolve the schema and normalise the rows.
 
-    If ``schema`` is omitted, one is built from the header; column types are
-    inferred from the data unless ``infer_types`` is false, in which case
-    every column is STRING.  Cells equal to ``null_token`` become NULL.
+    Returns the (possibly inferred) schema — always renamed to ``name`` —
+    and the rows with ``null_token`` cells mapped to NULL and unknown
+    columns dropped.  Both :func:`load_csv` and :func:`load_csv_into` build
+    on this.
     """
     path = Path(source) if not (isinstance(source, str) and "\n" in source) else None
     text = path.read_text() if path is not None else str(source)
@@ -92,15 +97,60 @@ def load_csv(
             )
             attrs.append(AttributeDef(column, dtype))
         schema = RelationSchema(name=name, attributes=attrs)
-    relation = Relation(schema)
-    for raw in raw_rows:
-        row = {
+    elif schema.name != name:
+        schema = RelationSchema(name=name, attributes=schema.attributes, key=schema.key)
+    rows = [
+        {
             key: (None if value == null_token or value is None else value)
             for key, value in raw.items()
             if key in schema.attribute_names
         }
-        relation.insert(row)
+        for raw in raw_rows
+    ]
+    return schema, rows
+
+
+def load_csv(
+    source: Union[PathLike, str],
+    name: str,
+    schema: Optional[RelationSchema] = None,
+    infer_types: bool = True,
+    null_token: str = "",
+) -> Relation:
+    """Load a CSV file (or CSV text) into a new :class:`Relation`.
+
+    If ``schema`` is omitted, one is built from the header; column types are
+    inferred from the data unless ``infer_types`` is false, in which case
+    every column is STRING.  Cells equal to ``null_token`` become NULL.
+    """
+    schema, rows = _parse_csv(source, name, schema, infer_types, null_token)
+    relation = Relation(schema)
+    relation.insert_many(rows)
     return relation
+
+
+def load_csv_into(
+    backend,
+    source: Union[PathLike, str],
+    name: str,
+    schema: Optional[RelationSchema] = None,
+    infer_types: bool = True,
+    null_token: str = "",
+    replace: bool = True,
+) -> List[int]:
+    """Load a CSV file (or CSV text) directly into a storage backend.
+
+    Schema handling matches :func:`load_csv`; the rows go through the
+    backend's bulk-insert path (``executemany`` on SQLite) rather than an
+    intermediate :class:`Relation`.  Returns the assigned tuple ids.
+
+    ``backend`` is any :class:`repro.backends.base.StorageBackend`; the
+    parameter is untyped here to keep the engine layer import-free of the
+    backends package.
+    """
+    schema, rows = _parse_csv(source, name, schema, infer_types, null_token)
+    backend.create_relation(schema, replace=replace)
+    return backend.insert_many(name, rows)
 
 
 def dump_csv(relation: Relation, destination: Optional[PathLike] = None) -> str:

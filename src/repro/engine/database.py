@@ -1,11 +1,21 @@
 """The database: a named collection of relations plus a SQL entry point.
 
-This is the "Database Servers" layer of the Semandaq architecture.  A
-:class:`Database` owns :class:`~repro.engine.relation.Relation` objects and
-exposes an ``execute`` method that runs statements written in the SQL subset
-(see :mod:`repro.engine.sql`).  The error detector compiles CFDs to SQL and
-runs them through this entry point, exactly as the paper's system pushes
+This is the *embedded* implementation of the "Database Servers" layer of
+the Semandaq architecture.  A :class:`Database` owns
+:class:`~repro.engine.relation.Relation` objects and exposes an ``execute``
+method that runs statements written in the SQL subset (see
+:mod:`repro.engine.sql`).  The error detector compiles CFDs to SQL and runs
+them through this entry point, exactly as the paper's system pushes
 detection queries down to the underlying DBMS.
+
+Since the storage-backend subsystem (:mod:`repro.backends`) was introduced,
+this class is one of several database servers detection can target: it
+backs :class:`~repro.backends.memory.MemoryBackend`, while
+:class:`~repro.backends.sqlite.SqliteBackend` pushes the same queries down
+to a real DBMS.  Components that need backend-agnostic storage should
+depend on :class:`~repro.backends.base.StorageBackend` rather than on this
+class; ``Database`` remains the working store for the native (non-SQL)
+paths — repair, audit, exploration, incremental monitoring.
 """
 
 from __future__ import annotations

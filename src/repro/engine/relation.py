@@ -62,6 +62,27 @@ class Relation:
             relation.insert(row)
         return relation
 
+    @classmethod
+    def from_tid_rows(
+        cls,
+        schema: RelationSchema,
+        pairs: Iterable[Tuple[int, Dict[str, Any]]],
+    ) -> "Relation":
+        """Build a relation from ``(tid, row)`` pairs, preserving the tids.
+
+        Storage backends use this to materialise a stored relation without
+        renumbering its tuples (tids may contain gaps after deletions).
+        """
+        relation = cls(schema)
+        for tid, row in pairs:
+            coerced = schema.coerce_row(dict(row))
+            relation._check_key(coerced, exclude_tid=None)
+            relation._rows[tid] = coerced
+            for index in relation._indexes.values():
+                index.add(tid, coerced)
+            relation._next_tid = max(relation._next_tid, tid + 1)
+        return relation
+
     def copy(self) -> "Relation":
         """Return a deep copy preserving tuple ids and indexes."""
         clone = Relation(self.schema)

@@ -55,6 +55,14 @@ class ConstraintViolationError(EngineError):
     """A storage-level constraint (e.g. NOT NULL, key) was violated."""
 
 
+class BackendError(EngineError):
+    """A storage backend was mis-configured or misused.
+
+    Raised for unknown backend names in the registry, invalid identifiers,
+    and other backend-level contract violations.
+    """
+
+
 class UnknownTupleError(EngineError):
     """A tuple id does not exist in the relation."""
 

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
+from ..backends.registry import available_backends
 from ..errors import ConfigurationError
 
 
@@ -14,6 +15,14 @@ class SemandaqConfig:
 
     Attributes
     ----------
+    backend:
+        Name of the storage backend detection SQL is pushed down to
+        (``"memory"`` for the embedded engine, ``"sqlite"`` for the stdlib
+        SQLite backend, or any name registered with
+        :func:`repro.backends.register_backend`).
+    backend_options:
+        Keyword options forwarded to the backend factory (e.g.
+        ``{"path": "/tmp/semandaq.db"}`` for a file-backed SQLite store).
     use_sql_detection:
         Run detection through generated SQL (the paper's technique).  When
         false, the native Python detector is used instead (the ablation path).
@@ -32,6 +41,8 @@ class SemandaqConfig:
         CFD is registered.
     """
 
+    backend: str = "memory"
+    backend_options: Dict[str, Any] = field(default_factory=dict)
     use_sql_detection: bool = True
     repair_max_iterations: int = 25
     audit_majority: float = 0.5
@@ -42,6 +53,11 @@ class SemandaqConfig:
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on out-of-range settings."""
+        if self.backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            )
         if self.repair_max_iterations < 1:
             raise ConfigurationError("repair_max_iterations must be at least 1")
         if not 0.0 <= self.audit_majority < 1.0:

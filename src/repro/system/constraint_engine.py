@@ -15,6 +15,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.consistency import ConsistencyResult, check_consistency, pairwise_conflicts
 from ..analysis.minimization import minimal_cover, redundancy_report
+from ..backends.base import StorageBackend
 from ..core.cfd import CFD
 from ..core.parser import format_cfd, parse_cfd
 from ..core.tableau import merge_cfds, tableau_size, tableau_to_relation
@@ -28,11 +29,20 @@ from ..engine.relation import Relation
 class ConstraintEngine:
     """Manages the CFDs of one Semandaq instance."""
 
-    def __init__(self, database: Database, check_consistency_on_add: bool = True):
+    def __init__(
+        self,
+        database: Database,
+        check_consistency_on_add: bool = True,
+        backend: Optional[StorageBackend] = None,
+    ):
         self.database = database
         self.check_consistency_on_add = check_consistency_on_add
         #: metadata database holding the relational encoding of the tableaux
         self.metadata = Database(name="semandaq_metadata")
+        #: optional storage backend the tableaux are mirrored into, so the
+        #: CFD encodings live in the same DBMS as the data (and benefit from
+        #: its indexes), per the paper's design
+        self.backend = backend
         self._cfds: Dict[str, CFD] = {}
         self._counter = 0
 
@@ -67,6 +77,8 @@ class ConstraintEngine:
         self._cfds[cfd.identifier] = cfd
         tableau = tableau_to_relation(cfd, f"tableau_{cfd.name}")
         self.metadata.add_relation(tableau, replace=True)
+        if self.backend is not None:
+            self.backend.add_relation(tableau, replace=True)
         return cfd
 
     def add_text(self, text: str, default_relation: Optional[str] = None) -> CFD:
@@ -84,6 +96,12 @@ class ConstraintEngine:
         cfd = self._cfds.pop(identifier, None)
         if cfd is not None and self.metadata.has_relation(f"tableau_{cfd.name}"):
             self.metadata.drop_relation(f"tableau_{cfd.name}")
+        if (
+            cfd is not None
+            and self.backend is not None
+            and self.backend.has_relation(f"tableau_{cfd.name}")
+        ):
+            self.backend.drop_relation(f"tableau_{cfd.name}")
 
     def clear(self) -> None:
         """Forget every registered CFD."""

@@ -5,9 +5,11 @@ the database, the constraint engine, the error detector, the data auditor,
 the data cleanser and the data monitor, and exposes the end-to-end workflow
 the demo walks through:
 
-1. connect data (register relations / load CSV);
+1. connect data (register relations / load CSV — bulk-synced into the
+   configured storage backend, see :mod:`repro.backends`);
 2. specify CFDs (textually, as objects, or discovered from reference data);
-3. detect violations (SQL-based);
+3. detect violations (SQL-based, pushed down to the storage backend
+   selected by ``SemandaqConfig.backend``);
 4. audit the data quality (classification, quality map, report);
 5. explore (drill-down navigation, per-tuple explanations);
 6. repair, review the candidate repair, and apply it;
@@ -16,9 +18,12 @@ the demo walks through:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..audit.report import DataAuditor, DataQualityReport
+from ..backends.base import StorageBackend
+from ..backends.memory import MemoryBackend
+from ..backends.registry import create_backend
 from ..core.cfd import CFD
 from ..detection.detector import ErrorDetector
 from ..detection.violations import ViolationReport
@@ -40,15 +45,35 @@ from .constraint_engine import ConstraintEngine
 class Semandaq:
     """End-to-end CFD-based data quality system."""
 
-    def __init__(self, config: Optional[SemandaqConfig] = None, database: Optional[Database] = None):
+    def __init__(
+        self,
+        config: Optional[SemandaqConfig] = None,
+        database: Optional[Database] = None,
+        backend: Optional[StorageBackend] = None,
+    ):
         self.config = config or SemandaqConfig()
         self.config.validate()
         self.database = database or Database()
+        if backend is not None:
+            self.backend = backend
+        elif self.config.backend == "memory":
+            # Share the working database so the memory configuration keeps a
+            # single copy of the data (the seed behaviour).
+            self.backend = MemoryBackend(self.database)
+        else:
+            self.backend = create_backend(
+                self.config.backend, **self.config.backend_options
+            )
+        self._backend_shared = (
+            isinstance(self.backend, MemoryBackend)
+            and self.backend.database is self.database
+        )
         self.constraints = ConstraintEngine(
             self.database,
             check_consistency_on_add=self.config.check_consistency_on_add,
+            backend=None if self._backend_shared else self.backend,
         )
-        self.detector = ErrorDetector(self.database, use_sql=self.config.use_sql_detection)
+        self.detector = ErrorDetector(self.backend, use_sql=self.config.use_sql_detection)
         self.auditor = DataAuditor(
             majority=self.config.audit_majority,
             quality_levels=self.config.quality_levels,
@@ -58,6 +83,8 @@ class Semandaq:
         self._reports: Dict[str, ViolationReport] = {}
         self._repairs: Dict[str, Repair] = {}
         self._monitors: Dict[str, DataMonitor] = {}
+        #: relations whose backend copy matches the working store
+        self._synced: Set[str] = set()
 
     # -- step 1: connect data -------------------------------------------------------------
 
@@ -69,15 +96,53 @@ class Semandaq:
     ) -> Relation:
         """Register a relation (by schema + rows, or an existing Relation object)."""
         if isinstance(schema_or_relation, Relation):
-            return self.database.add_relation(schema_or_relation, replace=replace)
-        return self.database.create_relation(
-            schema_or_relation, rows=[dict(row) for row in rows or []], replace=replace
-        )
+            relation = self.database.add_relation(schema_or_relation, replace=replace)
+        else:
+            relation = self.database.create_relation(
+                schema_or_relation,
+                rows=[dict(row) for row in rows or []],
+                replace=replace,
+            )
+        self._sync_backend(relation.name)
+        return relation
 
     def load_csv(self, source: str, name: str, **kwargs: Any) -> Relation:
-        """Load a CSV file (or CSV text) and register it under ``name``."""
+        """Load a CSV file (or CSV text) and register it under ``name``.
+
+        The loaded relation is bulk-synced into the storage backend (an
+        ``executemany`` batch on SQLite) so detection can push down to it.
+        """
         relation = load_csv(source, name, **kwargs)
-        return self.database.add_relation(relation, replace=True)
+        self.database.add_relation(relation, replace=True)
+        self._sync_backend(name)
+        return relation
+
+    def _sync_backend(self, relation_name: str) -> None:
+        """Mirror the working copy of ``relation_name`` into the backend.
+
+        A no-op when the backend shares the working database (the memory
+        configuration).  For real-DBMS backends this is the paper's load
+        step: the relation is bulk-loaded so detection SQL can run against
+        the database server.
+        """
+        if self._backend_shared:
+            return
+        self.backend.add_relation(self.database.relation(relation_name), replace=True)
+        self._synced.add(relation_name)
+
+    def _sync_backend_if_stale(self, relation_name: str) -> None:
+        """Re-sync only when the backend copy may be out of date.
+
+        That is: the relation was never synced, or a monitor exists for it
+        (monitors mutate the working store directly, so any update batch can
+        have run since the last sync).  Facade-level mutations
+        (``register_relation``/``load_csv``/``apply_repair``) sync eagerly,
+        so repeated ``detect`` calls on static data skip the bulk reload.
+        """
+        if self._backend_shared:
+            return
+        if relation_name not in self._synced or relation_name in self._monitors:
+            self._sync_backend(relation_name)
 
     def schema_summary(self) -> Dict[str, List[str]]:
         """The automatically discovered schema shown after connecting."""
@@ -108,7 +173,14 @@ class Semandaq:
     # -- step 3: detect ------------------------------------------------------------------------
 
     def detect(self, relation_name: str) -> ViolationReport:
-        """Run (SQL-based) violation detection for every CFD on ``relation_name``."""
+        """Run (SQL-based) violation detection for every CFD on ``relation_name``.
+
+        The working copy is re-synced into the storage backend first when it
+        may be stale, so updates applied through the monitor (which mutates
+        the working database) are visible to the pushed-down detection
+        queries.
+        """
+        self._sync_backend_if_stale(relation_name)
         cfds = self.constraints.cfds(relation_name)
         report = self.detector.detect(relation_name, cfds)
         self._reports[relation_name] = report
@@ -178,6 +250,7 @@ class Semandaq:
         new_relation = reviewed or self._repairs[relation_name].repaired
         replacement = new_relation.copy()
         self.database.add_relation(replacement, replace=True)
+        self._sync_backend(relation_name)
         self._reports.pop(relation_name, None)
         if relation_name in self._monitors:
             self._monitors[relation_name] = self._make_monitor(relation_name, cleansed=True)
@@ -207,6 +280,22 @@ class Semandaq:
             cost_model=self.cost_model,
             cleansed=cleansed,
         )
+
+    # -- lifecycle ---------------------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (e.g. the SQLite connection).
+
+        The memory backend has nothing to release; file-backed backends
+        close their connection so the database file is unlocked.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "Semandaq":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- one-shot pipeline ------------------------------------------------------------------------------
 

@@ -1,0 +1,186 @@
+"""Three-way detection parity and the SQLite end-to-end workflow.
+
+The acceptance bar of the backend subsystem: the native detector, the
+SQL-based detector on the embedded engine, and the SQL-based detector on
+SQLite must produce identical violation reports on the dirty-customer
+workload — the same ``vio()`` maps and the same dirty tids.
+"""
+
+import pytest
+
+from repro import Semandaq, SemandaqConfig
+from repro.backends import MemoryBackend, SqliteBackend
+from repro.datasets import generate_customers, inject_noise, paper_cfds
+from repro.detection.detector import ErrorDetector
+from repro.engine.csvio import dump_csv
+from repro.engine.database import Database
+
+
+@pytest.fixture(scope="module")
+def dirty_customers():
+    clean = generate_customers(300, seed=17)
+    noise = inject_noise(
+        clean, rate=0.05, seed=18, attributes=["CNT", "CITY", "STR", "CC"]
+    )
+    return noise.dirty
+
+
+@pytest.fixture(scope="module")
+def cfds():
+    return paper_cfds()
+
+
+class TestThreeWayParity:
+    def test_native_memory_sql_and_sqlite_sql_agree(self, dirty_customers, cfds):
+        database = Database()
+        database.add_relation(dirty_customers.copy())
+        native = ErrorDetector(database, use_sql=False).detect("customer", cfds)
+        memory_sql = ErrorDetector(database, use_sql=True).detect("customer", cfds)
+
+        sqlite_backend = SqliteBackend()
+        sqlite_backend.add_relation(dirty_customers.copy())
+        sqlite_sql = ErrorDetector(sqlite_backend, use_sql=True).detect(
+            "customer", cfds
+        )
+        sqlite_backend.close()
+
+        assert native.vio() == memory_sql.vio() == sqlite_sql.vio()
+        assert (
+            native.dirty_tids()
+            == memory_sql.dirty_tids()
+            == sqlite_sql.dirty_tids()
+        )
+        assert native.total_violations() == sqlite_sql.total_violations() > 0
+
+    def test_detector_accepts_backend_or_database(self, dirty_customers, cfds):
+        database = Database()
+        database.add_relation(dirty_customers.copy())
+        from_db = ErrorDetector(database).detect("customer", cfds)
+        from_backend = ErrorDetector(MemoryBackend(database)).detect("customer", cfds)
+        assert from_db.vio() == from_backend.vio()
+
+    def test_sqlite_detection_uses_its_dialect(self, dirty_customers, cfds):
+        backend = SqliteBackend()
+        backend.add_relation(dirty_customers.copy())
+        detector = ErrorDetector(backend)
+        detector.detect("customer", cfds)
+        backend.close()
+        assert detector.last_sql
+        assert all("CONCAT" not in sql for sql in detector.last_sql)
+
+    def test_float_encoding_parity_on_exponent_form(self):
+        # CAST(1e16 AS TEXT) would give '1.0e+16' on SQLite while the memory
+        # engine's CONCAT gives str() -> '1e+16'; the sqlite dialect routes
+        # FLOAT through a registered Python str() function for exact parity.
+        from repro.core.parser import parse_cfd
+        from repro.engine.relation import Relation
+        from repro.engine.types import AttributeDef, DataType, RelationSchema
+
+        schema = RelationSchema(
+            "m", [AttributeDef("A", DataType.FLOAT), AttributeDef("B")]
+        )
+        rows = [{"A": 1e16, "B": "wrong"}, {"A": 2.5, "B": "right"}]
+        cfd = parse_cfd("m: [A='1e+16'] -> [B='right']")
+        reports = {}
+        for backend_name in ("memory", "sqlite"):
+            from repro.backends import create_backend
+
+            backend = create_backend(backend_name)
+            backend.add_relation(Relation.from_rows(schema, rows))
+            reports[backend_name] = ErrorDetector(backend).detect("m", [cfd])
+            backend.close()
+        assert reports["memory"].vio() == reports["sqlite"].vio()
+        assert reports["sqlite"].total_violations() == 1
+
+    def test_lhs_indexes_created_on_sqlite(self, dirty_customers, cfds):
+        backend = SqliteBackend()
+        backend.add_relation(dirty_customers.copy())
+        ErrorDetector(backend).detect("customer", cfds)
+        names = {
+            row["name"]
+            for row in backend.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            )
+        }
+        backend.close()
+        assert any(name.startswith("idx_customer_") for name in names)
+
+
+class TestSqliteEndToEnd:
+    def test_full_workflow_on_sqlite_backend(self, dirty_customers, cfds):
+        csv_text = dump_csv(dirty_customers)
+        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        assert isinstance(system.backend, SqliteBackend)
+
+        system.load_csv(csv_text, "customer")
+        assert system.backend.row_count("customer") == len(dirty_customers)
+
+        system.add_cfds(cfds)
+        # tableaux are mirrored into the backend alongside the data
+        assert any(
+            name.startswith("tableau_") for name in system.backend.relation_names()
+        )
+
+        report = system.detect("customer")
+        assert system.detector.last_sql  # SQL really ran (pushdown, not native)
+        assert report.total_violations() > 0
+
+        audit = system.audit("customer")
+        assert audit.dirty_percentage() > 0
+
+        summary = system.clean("customer")
+        assert summary["violations_after"] <= summary["violations_before"]
+        # the repaired relation was synced back into the backend
+        assert system.backend.row_count("customer") == len(dirty_customers)
+
+    def test_sqlite_system_matches_memory_system(self, dirty_customers, cfds):
+        csv_text = dump_csv(dirty_customers)
+        reports = {}
+        for backend_name in ("memory", "sqlite"):
+            system = Semandaq(config=SemandaqConfig(backend=backend_name))
+            system.load_csv(csv_text, "customer")
+            system.add_cfds(cfds)
+            reports[backend_name] = system.detect("customer")
+        assert reports["memory"].vio() == reports["sqlite"].vio()
+        assert reports["memory"].dirty_tids() == reports["sqlite"].dirty_tids()
+
+    def test_monitor_updates_visible_after_resync(self, cfds):
+        # once a monitor exists, detect() re-syncs the working copy, so
+        # updates applied through it are seen by the pushed-down queries.
+        from repro.monitor.updates import Update
+
+        clean = generate_customers(60, seed=23)
+        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        system.register_relation(clean.copy())
+        system.add_cfds(cfds)
+        assert system.detect("customer").total_violations() == 0
+        tid = system.database.relation("customer").tids()[0]
+        system.monitor("customer").apply(Update.modify(tid, {"CNT": "Narnia"}))
+        assert system.detect("customer").total_violations() > 0
+
+    def test_repeat_detect_skips_bulk_resync(self, cfds):
+        # static data + no monitor: the second detect must not rebuild the
+        # backend table (the sync happens at load time and is then cached).
+        clean = generate_customers(60, seed=31)
+        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        system.register_relation(clean.copy())
+        system.add_cfds(cfds)
+        system.detect("customer")
+        calls = []
+        original = system.backend.add_relation
+        system.backend.add_relation = lambda *a, **k: (calls.append(a), original(*a, **k))
+        system.detect("customer")
+        # only the per-CFD temp tableaux are written, never the data relation
+        assert all(rel.name.startswith("__semandaq_tableau") for rel, *_ in calls)
+
+    def test_file_backed_sqlite_configuration(self, tmp_path, cfds):
+        path = tmp_path / "semandaq.db"
+        config = SemandaqConfig(backend="sqlite", backend_options={"path": str(path)})
+        with Semandaq(config=config) as system:
+            system.register_relation(generate_customers(40, seed=29))
+            system.add_cfds(cfds)
+            system.detect("customer")
+        assert path.exists()
+        # the context manager closed the connection; the backend rejects use
+        with pytest.raises(Exception):
+            system.backend.execute("SELECT 1 AS one")

@@ -1,0 +1,217 @@
+"""Tests for the SQLite storage backend: round trips, tid stability, bulk load."""
+
+import pytest
+
+from repro.backends import SqliteBackend
+from repro.engine.csvio import load_csv_into
+from repro.engine.relation import Relation
+from repro.engine.types import AttributeDef, DataType, RelationSchema
+from repro.errors import (
+    BackendError,
+    ConstraintViolationError,
+    DuplicateRelationError,
+    SqlExecutionError,
+    UnknownRelationError,
+    UnknownTupleError,
+)
+
+SCHEMA = RelationSchema(
+    "mixed",
+    [
+        AttributeDef("S", DataType.STRING),
+        AttributeDef("I", DataType.INTEGER),
+        AttributeDef("F", DataType.FLOAT),
+        AttributeDef("B", DataType.BOOLEAN),
+    ],
+)
+
+ROWS = [
+    {"S": "a", "I": 1, "F": 1.5, "B": True},
+    {"S": "b", "I": 2, "F": 2.0, "B": False},
+    {"S": None, "I": None, "F": None, "B": None},
+]
+
+
+@pytest.fixture
+def backend():
+    instance = SqliteBackend()
+    yield instance
+    instance.close()
+
+
+class TestCatalog:
+    def test_create_list_drop(self, backend):
+        backend.create_relation(SCHEMA)
+        assert backend.has_relation("mixed")
+        assert backend.relation_names() == ["mixed"]
+        assert backend.schema("mixed").attribute_names == ["S", "I", "F", "B"]
+        backend.drop_relation("mixed")
+        assert not backend.has_relation("mixed")
+
+    def test_duplicate_requires_replace(self, backend):
+        backend.create_relation(SCHEMA)
+        with pytest.raises(DuplicateRelationError):
+            backend.create_relation(SCHEMA)
+        backend.create_relation(SCHEMA, replace=True)  # does not raise
+
+    def test_unknown_relation_raises(self, backend):
+        with pytest.raises(UnknownRelationError):
+            backend.drop_relation("ghost")
+        with pytest.raises(UnknownRelationError):
+            backend.to_relation("ghost")
+
+    def test_invalid_identifier_rejected(self, backend):
+        bad = RelationSchema('evil"name', [AttributeDef("A")])
+        with pytest.raises(BackendError):
+            backend.create_relation(bad)
+
+
+class TestRowsAndTids:
+    def test_bulk_load_round_trip(self, backend):
+        backend.create_relation(SCHEMA)
+        tids = backend.insert_many("mixed", ROWS)
+        assert tids == [0, 1, 2]
+        assert backend.row_count("mixed") == 3
+        stored = dict(backend.iter_rows("mixed"))
+        assert stored[0] == ROWS[0]
+        assert stored[1] == ROWS[1]
+        assert stored[2] == ROWS[2]
+        assert backend.get_row("mixed", 1)["B"] is False
+
+    def test_tids_continue_across_batches(self, backend):
+        backend.create_relation(SCHEMA)
+        assert backend.insert_many("mixed", ROWS[:2]) == [0, 1]
+        assert backend.insert_many("mixed", ROWS[2:]) == [2]
+
+    def test_unknown_tid_raises(self, backend):
+        backend.create_relation(SCHEMA)
+        with pytest.raises(UnknownTupleError):
+            backend.get_row("mixed", 99)
+
+    def test_add_relation_preserves_gappy_tids(self, backend):
+        relation = Relation.from_rows(SCHEMA, ROWS)
+        relation.delete(1)  # leave a gap
+        backend.add_relation(relation)
+        assert [tid for tid, _row in backend.iter_rows("mixed")] == [0, 2]
+        # new inserts continue after the highest stored tid
+        assert backend.insert_many("mixed", [ROWS[1]]) == [3]
+
+    def test_to_relation_round_trip(self, backend):
+        relation = Relation.from_rows(SCHEMA, ROWS)
+        relation.delete(0)
+        backend.add_relation(relation)
+        restored = backend.to_relation("mixed")
+        assert restored.tids() == relation.tids()
+        assert restored.get(1) == relation.get(1)
+        assert restored.get(2) == relation.get(2)
+
+
+class TestQueriesAndIndexes:
+    def test_execute_with_parameters(self, backend):
+        backend.create_relation(SCHEMA, rows=ROWS)
+        rows = backend.execute("SELECT S, I FROM mixed WHERE I >= ?", [2])
+        assert rows == [{"S": "b", "I": 2}]
+
+    def test_execute_ddl_returns_empty(self, backend):
+        assert backend.execute("CREATE TABLE scratch (x INTEGER)") == []
+
+    def test_execute_bad_sql_raises_engine_error_type(self, backend):
+        with pytest.raises(SqlExecutionError):
+            backend.execute("SELECT * FROM nowhere_at_all")
+
+    def _index_names(self, backend):
+        return {
+            row["name"]
+            for row in backend.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'index'"
+            )
+        }
+
+    def test_ensure_index_is_idempotent_and_validated(self, backend):
+        backend.create_relation(SCHEMA, rows=ROWS)
+        backend.ensure_index("mixed", ["S", "I"])
+        backend.ensure_index("mixed", ["S", "I"])  # no error on repeat
+        assert sum(
+            name.startswith("idx_mixed_S_I") for name in self._index_names(backend)
+        ) == 1
+        with pytest.raises(Exception):
+            backend.ensure_index("mixed", ["NOPE"])
+
+    def test_distinct_attribute_lists_get_distinct_indexes(self, backend):
+        schema = RelationSchema("tricky", [AttributeDef("a_b"), AttributeDef("a"), AttributeDef("b")])
+        backend.create_relation(schema)
+        backend.ensure_index("tricky", ["a_b"])
+        backend.ensure_index("tricky", ["a", "b"])
+        assert sum(
+            name.startswith("idx_tricky_") for name in self._index_names(backend)
+        ) == 2
+
+    def test_wal_and_synchronous_pragmas(self, tmp_path):
+        backend = SqliteBackend(path=str(tmp_path / "pragmas.db"))
+        try:
+            assert backend.execute("PRAGMA journal_mode")[0]["journal_mode"] == "wal"
+            assert backend.execute("PRAGMA synchronous")[0]["synchronous"] == 1
+        finally:
+            backend.close()
+
+    def test_key_enforced_as_unique_index(self, backend):
+        keyed = RelationSchema(
+            "keyed", [AttributeDef("K"), AttributeDef("V")], key=("K",)
+        )
+        backend.create_relation(keyed, rows=[{"K": "a", "V": "1"}])
+        # same error type the memory backend raises for a duplicate key
+        with pytest.raises(ConstraintViolationError):
+            backend.insert_many("keyed", [{"K": "a", "V": "2"}])
+
+    def test_failed_bulk_insert_rolls_back_and_backend_stays_usable(self, backend):
+        keyed = RelationSchema(
+            "keyed", [AttributeDef("K"), AttributeDef("V")], key=("K",)
+        )
+        backend.create_relation(keyed, rows=[{"K": "a", "V": "1"}])
+        with pytest.raises(ConstraintViolationError):
+            backend.insert_many("keyed", [{"K": "b", "V": "2"}, {"K": "a", "V": "3"}])
+        # the partial batch was rolled back ...
+        assert backend.row_count("keyed") == 1
+        # ... and a valid retry succeeds with a consistent tid
+        assert backend.insert_many("keyed", [{"K": "c", "V": "4"}]) == [1]
+
+
+class TestCsvBulkLoad:
+    def test_load_csv_into_backend(self, backend):
+        csv_text = "A,N\nx,1\ny,2\n,3\n"
+        tids = load_csv_into(backend, csv_text, "loaded")
+        assert tids == [0, 1, 2]
+        assert backend.schema("loaded").attribute("N").dtype is DataType.INTEGER
+        assert backend.get_row("loaded", 2)["A"] is None
+        assert backend.row_count("loaded") == 3
+
+    def test_load_csv_into_persists_on_disk(self, tmp_path):
+        path = tmp_path / "store.db"
+        backend = SqliteBackend(path=str(path))
+        load_csv_into(backend, "A,B\n1,2\n", "disk_rel")
+        backend.close()
+        assert path.exists()
+
+
+class TestReopen:
+    def test_reopen_recovers_catalog_and_tids(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        first = SqliteBackend(path=path)
+        first.create_relation(SCHEMA, rows=ROWS)
+        first.close()
+
+        second = SqliteBackend(path=path)
+        try:
+            assert second.has_relation("mixed")
+            assert second.row_count("mixed") == 3
+            # schema reconstructed from column affinities (BOOLEAN reopens
+            # as INTEGER — values survive, boolean typing does not)
+            assert second.schema("mixed").attribute("S").dtype is DataType.STRING
+            assert second.schema("mixed").attribute("F").dtype is DataType.FLOAT
+            # tid counter continues after the highest stored tid
+            assert second.insert_many("mixed", [{"S": "d"}]) == [3]
+            # replace works against a table created by a previous session
+            second.create_relation(SCHEMA, rows=ROWS[:1], replace=True)
+            assert second.row_count("mixed") == 1
+        finally:
+            second.close()

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.backends.dialect import MEMORY_DIALECT, SQLITE_DIALECT
 from repro.core.parser import parse_cfd
 from repro.core.tableau import tableau_to_relation
 from repro.detection.sqlgen import DetectionSqlGenerator, tableau_relation_name
@@ -70,7 +71,7 @@ class TestGeneratedSqlRuns:
         database.add_relation(tableau)
         generator = DetectionSqlGenerator(customer_relation.schema)
         queries = generator.generate(cfd, "tab_phi4")
-        result = database.execute(queries.single_sql)
+        result = database.execute(queries.single_sql.sql, queries.single_sql.parameters)
         assert [row["tid"] for row in result.rows] == [4]
 
     def test_multi_query_executes_and_groups(self, customer_relation):
@@ -80,8 +81,8 @@ class TestGeneratedSqlRuns:
         tableau = tableau_to_relation(cfd, "tab_phi2")
         database.add_relation(tableau)
         generator = DetectionSqlGenerator(customer_relation.schema)
-        sql = generator.multi_tuple_query(cfd, "tab_phi2")
-        result = database.execute(sql)
+        query = generator.multi_tuple_query(cfd, "tab_phi2")
+        result = database.execute(query.sql, query.parameters)
         assert len(result.rows) == 1
         assert result.rows[0]["CNT"] == "UK"
         assert result.rows[0]["distinct_rhs"] == 2
@@ -91,8 +92,9 @@ class TestGeneratedSqlRuns:
         database.add_relation(customer_relation)
         cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
         generator = DetectionSqlGenerator(customer_relation.schema)
-        sql = generator.group_members_query(cfd)
-        result = database.execute(sql, ["UK", "EH4 1DT"])
+        query = generator.group_members_query(cfd)
+        assert query.parameters == ()  # placeholders are bound by the caller
+        result = database.execute(query.sql, ["UK", "EH4 1DT"])
         assert {row["tid"] for row in result.rows} == {0, 1}
 
 
@@ -107,4 +109,38 @@ class TestNaming:
         assert queries.single_sql is not None
         assert queries.multi_sql is None
         assert queries.group_members_sql is not None
-        assert queries.all_sql() == [queries.single_sql]
+        assert queries.all_sql() == [queries.single_sql.sql]
+
+
+class TestDialects:
+    def test_memory_dialect_inlines_wildcard_and_uses_concat(self):
+        schema = RelationSchema(
+            "orders",
+            [AttributeDef("QUANTITY", DataType.INTEGER), AttributeDef("PRODUCT")],
+        )
+        generator = DetectionSqlGenerator(schema, dialect=MEMORY_DIALECT)
+        cfd = parse_cfd("orders: [QUANTITY='5'] -> [PRODUCT='gadget']")
+        query = generator.single_tuple_query(cfd, "tab")
+        assert "CONCAT(t.QUANTITY)" in query.sql
+        assert "'_'" in query.sql
+        assert query.parameters == ()
+
+    def test_sqlite_dialect_casts_and_parameterises(self):
+        schema = RelationSchema(
+            "orders",
+            [AttributeDef("QUANTITY", DataType.INTEGER), AttributeDef("PRODUCT")],
+        )
+        generator = DetectionSqlGenerator(schema, dialect=SQLITE_DIALECT)
+        cfd = parse_cfd("orders: [QUANTITY='5'] -> [PRODUCT='gadget']")
+        query = generator.single_tuple_query(cfd, "tab")
+        assert "CAST(t.QUANTITY AS TEXT)" in query.sql
+        assert "CONCAT" not in query.sql
+        assert "'_'" not in query.sql  # wildcard travels as a parameter
+        assert query.parameters == ("_", "_")
+        assert query.sql.count("?") == len(query.parameters)
+
+    def test_sqlite_multi_query_parameters_match_placeholders(self, customer_relation):
+        generator = DetectionSqlGenerator(customer_relation.schema, dialect=SQLITE_DIALECT)
+        cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
+        query = generator.multi_tuple_query(cfd, "tab")
+        assert query.sql.count("?") == len(query.parameters) == 3

@@ -32,6 +32,15 @@ class TestSemandaqConfig:
         with pytest.raises(ConfigurationError):
             SemandaqConfig(attribute_weights={"A": 0}).validate()
 
+    def test_invalid_backend(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(backend="oracle").validate()
+
+    def test_builtin_backends_are_valid(self):
+        SemandaqConfig(backend="memory").validate()
+        SemandaqConfig(backend="sqlite").validate()
+        SemandaqConfig(backend="sqlite", backend_options={"path": ":memory:"}).validate()
+
     def test_custom_valid_config(self):
         SemandaqConfig(
             use_sql_detection=False,
