@@ -11,6 +11,12 @@ database server:
 * **tid-stable row access** — every stored row keeps the stable integer
   tuple id (``tid``) the detector, auditor and cleanser use to refer to it,
   across backends and across round trips;
+* **delta operations** — :meth:`insert_row`, :meth:`delete_row` and
+  :meth:`update_row` apply a single-tuple change without reloading the
+  relation.  The data monitor ships every monitored update (and every
+  incremental-repair cell change) down as one of these, which is what keeps
+  a backend-resident copy current at a cost proportional to the update
+  batch instead of the relation;
 * **query execution** — :meth:`execute` runs a detection query (in the
   backend's own :class:`~repro.backends.dialect.SqlDialect`) and returns
   plain row dicts;
@@ -87,6 +93,34 @@ class StorageBackend(abc.ABC):
         self, name: str, rows: Iterable[Mapping[str, Any]]
     ) -> List[int]:
         """Bulk-insert ``rows`` into relation ``name``; returns assigned tids."""
+
+    @abc.abstractmethod
+    def insert_row(
+        self, name: str, row: Mapping[str, Any], tid: Optional[int] = None
+    ) -> int:
+        """Insert one row; returns its tid.
+
+        When ``tid`` is given the row is stored under exactly that tuple id
+        (the caller — typically the data monitor mirroring its working
+        store — owns tid assignment); otherwise the backend assigns the next
+        free tid.  A single-statement operation: no other row is touched.
+        """
+
+    @abc.abstractmethod
+    def delete_row(self, name: str, tid: int) -> None:
+        """Delete the row stored under ``tid``; raises ``UnknownTupleError``
+        if absent.  A single-statement operation."""
+
+    @abc.abstractmethod
+    def update_row(
+        self, name: str, tid: int, changes: Mapping[str, Any]
+    ) -> None:
+        """Apply ``changes`` (attribute -> new value) to the row under ``tid``.
+
+        Raises ``UnknownTupleError`` if the tid is not stored.  A
+        single-statement operation: only the named attributes of the one row
+        change.
+        """
 
     @abc.abstractmethod
     def get_row(self, name: str, tid: int) -> Dict[str, Any]:

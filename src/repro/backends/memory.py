@@ -64,6 +64,20 @@ class MemoryBackend(StorageBackend):
     def insert_many(self, name: str, rows: Iterable[Mapping[str, Any]]) -> List[int]:
         return self.database.relation(name).insert_many(dict(row) for row in rows)
 
+    def insert_row(
+        self, name: str, row: Mapping[str, Any], tid: Optional[int] = None
+    ) -> int:
+        relation = self.database.relation(name)
+        if tid is None:
+            return relation.insert(dict(row))
+        return relation.insert_at(tid, dict(row))
+
+    def delete_row(self, name: str, tid: int) -> None:
+        self.database.relation(name).delete(tid)
+
+    def update_row(self, name: str, tid: int, changes: Mapping[str, Any]) -> None:
+        self.database.relation(name).update(tid, dict(changes))
+
     def get_row(self, name: str, tid: int) -> Dict[str, Any]:
         return self.database.relation(name).get(tid)
 

@@ -134,9 +134,10 @@ class ErrorDetector:
             violations.extend(
                 self._run_single_query(relation, parent, cfd, queries.single_sql)
             )
-            violations.extend(
-                self._run_multi_query(relation, parent, cfd, queries.multi_sql)
-            )
+            for multi_query in queries.multi_sqls:
+                violations.extend(
+                    self._run_multi_query(relation, parent, cfd, multi_query)
+                )
             return violations
         finally:
             self.backend.drop_relation(tableau_name)
@@ -153,13 +154,17 @@ class ErrorDetector:
         self.last_sql.append(query.sql)
         rows = self.backend.execute(query.sql, query.parameters)
         rhs_attribute = cfd.rhs[0]
-        seen: Set[int] = set()
-        violations: List[Violation] = []
+        # With overlapping pattern tuples the same tid can violate several
+        # patterns; result order is engine-dependent, so pick the lowest
+        # pattern index — the rule the native and incremental paths follow.
+        chosen: Dict[int, int] = {}
         for row in rows:
             tid = row["tid"]
-            if tid in seen:
-                continue
-            seen.add(tid)
+            pattern_index = int(row.get("pattern_id", 0))
+            if tid not in chosen or pattern_index < chosen[tid]:
+                chosen[tid] = pattern_index
+        violations: List[Violation] = []
+        for tid in sorted(chosen):
             data_row = relation.get(tid)
             violations.append(
                 Violation(
@@ -167,7 +172,7 @@ class ErrorDetector:
                     kind=SINGLE,
                     tids=(tid,),
                     rhs_attribute=rhs_attribute,
-                    pattern_index=int(row.get("pattern_id", 0)),
+                    pattern_index=chosen[tid],
                     lhs_attributes=cfd.lhs,
                     lhs_values=tuple(data_row.get(attr) for attr in cfd.lhs),
                 )
@@ -185,17 +190,25 @@ class ErrorDetector:
             return []
         self.last_sql.append(query.sql)
         rows = self.backend.execute(query.sql, query.parameters)
-        rhs_attribute = cfd.rhs[0]
-        violations: List[Violation] = []
-        seen_groups: Set[Tuple[Any, ...]] = set()
+        rhs_attribute = query.rhs_attribute or cfd.rhs[0]
+        # The query groups by (LHS values, pattern_id), so an LHS group
+        # covered by several overlapping pattern tuples comes back once per
+        # matching pattern.  Report each group exactly once, under its
+        # lowest violating pattern index — the same rule the native and
+        # incremental paths apply — instead of whichever pattern the
+        # engine-dependent result order yields first.
+        grouped: Dict[Tuple[Any, ...], int] = {}
         for row in rows:
             lhs_values = tuple(row[attr] for attr in cfd.lhs)
-            if lhs_values in seen_groups:
-                continue
-            seen_groups.add(lhs_values)
             pattern_index = int(row.get("pattern_id", 0))
+            if lhs_values not in grouped or pattern_index < grouped[lhs_values]:
+                grouped[lhs_values] = pattern_index
+        violations: List[Violation] = []
+        for lhs_values, pattern_index in grouped.items():
             pattern = cfd.patterns[pattern_index]
-            tids = self._group_member_tids(relation, cfd, pattern, lhs_values)
+            tids = self._group_member_tids(
+                relation, cfd, pattern, lhs_values, rhs_attribute
+            )
             if len(tids) < 2:
                 continue
             violations.append(
@@ -217,8 +230,9 @@ class ErrorDetector:
         cfd: CFD,
         pattern: PatternTuple,
         lhs_values: Tuple[Any, ...],
+        rhs_attribute: Optional[str] = None,
     ) -> List[int]:
-        rhs_attribute = cfd.rhs[0]
+        rhs_attribute = rhs_attribute or cfd.rhs[0]
         candidate_tids = relation.lookup(list(cfd.lhs), list(lhs_values))
         members: List[int] = []
         for tid in candidate_tids:

@@ -20,6 +20,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..backends.base import StorageBackend
 from ..core.cfd import CFD
 from ..engine.database import Database
 from ..engine.relation import Relation
@@ -49,11 +50,26 @@ class _WorkUnit:
 class IncrementalDetector:
     """Maintains CFD violation state across inserts, deletes and updates."""
 
-    def __init__(self, database: Database, relation_name: str, cfds: Sequence[CFD]):
+    def __init__(
+        self,
+        database: Database,
+        relation_name: str,
+        cfds: Sequence[CFD],
+        mirror: Optional[StorageBackend] = None,
+    ):
         self.database = database
         self.relation_name = relation_name
         self.relation: Relation = database.relation(relation_name)
         self.cfds: List[CFD] = list(cfds)
+        #: storage backend every applied update is forwarded to as a per-tid
+        #: delta (insert_row/delete_row/update_row), so a backend-resident
+        #: copy stays current without full re-syncs.  None when the working
+        #: store *is* the backend (the shared-memory configuration).
+        self.mirror = mirror
+        #: set when a mirror delta failed after the working store mutated:
+        #: the backend copy has silently diverged and needs a full re-sync
+        #: (the Semandaq facade checks this flag before each detect)
+        self.mirror_desynced = False
         #: number of (tuple, pattern) examinations performed so far
         self.tuples_examined = 0
         self._units: List[_WorkUnit] = []
@@ -119,7 +135,14 @@ class IncrementalDetector:
     def insert(self, row: Mapping[str, Any]) -> int:
         """Insert ``row`` into the relation and update detection state."""
         tid = self.relation.insert(dict(row))
-        self._add_tuple(tid, self.relation.get(tid))
+        stored = self.relation.get(tid)
+        self._add_tuple(tid, stored)
+        if self.mirror is not None:
+            # Forward the coerced row under the same tid, keeping tuple ids
+            # aligned between the working store and the backend copy.  The
+            # mirror call comes last so a backend failure leaves relation
+            # and detection state consistent with each other.
+            self._forward_to_mirror(self.mirror.insert_row, self.relation_name, stored, tid=tid)
         return tid
 
     def delete(self, tid: int) -> None:
@@ -127,6 +150,8 @@ class IncrementalDetector:
         old_row = self.relation.get(tid)
         self.relation.delete(tid)
         self._remove_tuple(tid, old_row)
+        if self.mirror is not None:
+            self._forward_to_mirror(self.mirror.delete_row, self.relation_name, tid)
 
     def update(self, tid: int, changes: Mapping[str, Any]) -> None:
         """Modify attribute values of tuple ``tid`` and update detection state."""
@@ -135,6 +160,29 @@ class IncrementalDetector:
         new_row = self.relation.get(tid)
         self._remove_tuple(tid, old_row)
         self._add_tuple(tid, new_row)
+        if self.mirror is not None:
+            # ship the coerced values actually stored, not the raw inputs
+            self._forward_to_mirror(
+                self.mirror.update_row,
+                self.relation_name,
+                tid,
+                {attr: new_row.get(attr) for attr in changes},
+            )
+
+    def _forward_to_mirror(self, delta_op, *args: Any, **kwargs: Any) -> None:
+        """Run one mirror delta; on failure flag the divergence and re-raise.
+
+        The working store and detection state have already mutated by the
+        time a delta ships, so a backend error (disk full, lock contention)
+        means the backend copy now lags.  ``mirror_desynced`` records that
+        so the owner can schedule a full re-sync instead of silently
+        detecting against stale data.
+        """
+        try:
+            delta_op(*args, **kwargs)
+        except Exception:
+            self.mirror_desynced = True
+            raise
 
     def apply(self, operation: str, **kwargs: Any) -> Optional[int]:
         """Dispatch an update described by name: ``insert``, ``delete`` or ``update``."""

@@ -55,11 +55,14 @@ class SqlQuery:
 
     ``parameters`` is empty on dialects without parameter support (values
     are inlined) and for queries whose placeholders are bound by the caller
-    at execution time (the group-members query).
+    at execution time (the group-members query).  ``rhs_attribute`` names
+    the RHS attribute a ``Q_V`` query detects disagreements on (``None``
+    for the other query kinds).
     """
 
     sql: str
     parameters: Tuple[Any, ...] = ()
+    rhs_attribute: Optional[str] = None
 
     def __str__(self) -> str:
         return self.sql
@@ -70,17 +73,31 @@ class SqlQuery:
 
 @dataclass(frozen=True)
 class DetectionQueries:
-    """The generated SQL for one CFD: tableau name plus the two queries."""
+    """The generated SQL for one CFD: tableau name plus the queries.
+
+    A merged CFD can carry wildcard patterns on several RHS attributes;
+    ``multi_sqls`` holds one ``Q_V`` per such attribute (each query's
+    ``rhs_attribute`` says which one it covers).
+    """
 
     cfd_id: str
     tableau_name: str
     single_sql: Optional[SqlQuery]
-    multi_sql: Optional[SqlQuery]
+    multi_sqls: Tuple[SqlQuery, ...]
     group_members_sql: Optional[SqlQuery]
+
+    @property
+    def multi_sql(self) -> Optional[SqlQuery]:
+        """The first ``Q_V`` query (kept for single-RHS callers)."""
+        return self.multi_sqls[0] if self.multi_sqls else None
 
     def all_sql(self) -> List[str]:
         """Every generated query's SQL text, for logging/inspection."""
-        return [query.sql for query in (self.single_sql, self.multi_sql) if query]
+        return [
+            query.sql
+            for query in (self.single_sql,) + self.multi_sqls
+            if query
+        ]
 
 
 class DetectionSqlGenerator:
@@ -162,15 +179,9 @@ class DetectionSqlGenerator:
         )
         return SqlQuery(sql, tuple(params))
 
-    def multi_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[SqlQuery]:
-        """``Q_V``: find LHS groups with >1 distinct value on a wildcard RHS.
-
-        Returns ``None`` when the CFD has no wildcard RHS position or an
-        empty LHS.
-        """
-        if not cfd.lhs:
-            return None
-        wildcard_rhs = [
+    def _wildcard_rhs_attributes(self, cfd: CFD) -> List[str]:
+        """RHS attributes carrying the wildcard in at least one pattern."""
+        return [
             attr
             for attr in cfd.rhs
             if any(
@@ -178,9 +189,50 @@ class DetectionSqlGenerator:
                 for pattern in cfd.patterns
             )
         ]
+
+    def multi_tuple_queries(self, cfd: CFD, tableau_name: str) -> List[SqlQuery]:
+        """All ``Q_V`` queries of ``cfd``: one per wildcard RHS attribute.
+
+        A merged CFD whose tableau has wildcard patterns on several RHS
+        attributes needs one grouping query per such attribute — a single
+        query over the first one would silently miss disagreements on the
+        others.  Empty when the CFD has no wildcard RHS position or an
+        empty LHS.
+        """
+        if not cfd.lhs:
+            return []
+        return [
+            self._multi_tuple_query_for(cfd, tableau_name, attr)
+            for attr in self._wildcard_rhs_attributes(cfd)
+        ]
+
+    def multi_tuple_query(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: Optional[str] = None,
+    ) -> Optional[SqlQuery]:
+        """``Q_V``: find LHS groups with >1 distinct value on a wildcard RHS.
+
+        Covers ``rhs_attribute`` (default: the first wildcard RHS
+        attribute).  Returns ``None`` when the CFD has no wildcard RHS
+        position or an empty LHS; use :meth:`multi_tuple_queries` to cover
+        every wildcard RHS attribute of a merged CFD.
+        """
+        if not cfd.lhs:
+            return None
+        wildcard_rhs = self._wildcard_rhs_attributes(cfd)
         if not wildcard_rhs:
             return None
-        rhs_attribute = wildcard_rhs[0]
+        if rhs_attribute is None:
+            rhs_attribute = wildcard_rhs[0]
+        elif rhs_attribute not in wildcard_rhs:
+            return None
+        return self._multi_tuple_query_for(cfd, tableau_name, rhs_attribute)
+
+    def _multi_tuple_query_for(
+        self, cfd: CFD, tableau_name: str, rhs_attribute: str
+    ) -> SqlQuery:
         params: List[Any] = []
         conditions = self._lhs_conditions(cfd, params)
         conditions.append(
@@ -204,7 +256,7 @@ class DetectionSqlGenerator:
             f"GROUP BY {', '.join(group_columns)}\n"
             f"HAVING COUNT(DISTINCT {self._data_column(rhs_attribute)}) > 1"
         )
-        return SqlQuery(sql, tuple(params))
+        return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute)
 
     def group_members_query(self, cfd: CFD) -> Optional[SqlQuery]:
         """Parameterised query returning the tuples of one violating LHS group.
@@ -233,7 +285,7 @@ class DetectionSqlGenerator:
             cfd_id=cfd.identifier,
             tableau_name=tableau_name,
             single_sql=self.single_tuple_query(cfd, tableau_name),
-            multi_sql=self.multi_tuple_query(cfd, tableau_name),
+            multi_sqls=tuple(self.multi_tuple_queries(cfd, tableau_name)),
             group_members_sql=self.group_members_query(cfd),
         )
 

@@ -75,12 +75,7 @@ class Relation:
         """
         relation = cls(schema)
         for tid, row in pairs:
-            coerced = schema.coerce_row(dict(row))
-            relation._check_key(coerced, exclude_tid=None)
-            relation._rows[tid] = coerced
-            for index in relation._indexes.values():
-                index.add(tid, coerced)
-            relation._next_tid = max(relation._next_tid, tid + 1)
+            relation.insert_at(tid, dict(row))
         return relation
 
     def copy(self) -> "Relation":
@@ -111,6 +106,27 @@ class Relation:
     def insert_many(self, rows: Iterable[Dict[str, Any]]) -> List[int]:
         """Insert every row in ``rows`` and return the assigned tids."""
         return [self.insert(row) for row in rows]
+
+    def insert_at(self, tid: int, row: Dict[str, Any]) -> int:
+        """Insert ``row`` under the caller-chosen tuple id ``tid``.
+
+        Storage backends mirroring another store use this to keep tuple ids
+        aligned across copies.  The tid must not be live; the internal tid
+        counter advances past it so later plain inserts never collide.
+        """
+        if tid < 0:
+            raise ConstraintViolationError(f"tuple ids must be non-negative, got {tid}")
+        if tid in self._rows:
+            raise ConstraintViolationError(
+                f"tuple id {tid} is already live in relation {self.name!r}"
+            )
+        coerced = self.schema.coerce_row(row)
+        self._check_key(coerced, exclude_tid=None)
+        self._rows[tid] = coerced
+        self._next_tid = max(self._next_tid, tid + 1)
+        for index in self._indexes.values():
+            index.add(tid, coerced)
+        return tid
 
     def delete(self, tid: int) -> Dict[str, Any]:
         """Delete tuple ``tid`` and return its former row."""

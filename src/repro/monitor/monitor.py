@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..backends.base import StorageBackend
 from ..core.cfd import CFD
 from ..detection.incremental import IncrementalDetector
 from ..detection.violations import ViolationReport
@@ -35,6 +36,7 @@ class DataMonitor:
         cfds: Sequence[CFD],
         cost_model: Optional[CostModel] = None,
         cleansed: bool = False,
+        backend: Optional[StorageBackend] = None,
     ):
         self.database = database
         self.relation_name = relation_name
@@ -43,8 +45,14 @@ class DataMonitor:
         #: whether the relation is considered cleansed (repair mode) or not
         #: (detection mode)
         self.cleansed = cleansed
+        #: storage backend each applied update (and each incremental-repair
+        #: cell change) is shipped to as a per-tid delta; None when the
+        #: working store is the backend itself
+        self.backend = backend
         self.log = UpdateLog()
-        self._detector = IncrementalDetector(database, relation_name, self.cfds)
+        self._detector = IncrementalDetector(
+            database, relation_name, self.cfds, mirror=backend
+        )
         self._repairer = IncrementalRepairer(cost_model=self.cost_model)
         self._repairs: List[Repair] = []
 
@@ -57,6 +65,35 @@ class DataMonitor:
     def mark_dirty(self) -> None:
         """Switch back to detection-only mode."""
         self.cleansed = False
+
+    # -- backend mirroring ------------------------------------------------------------
+
+    @property
+    def backend_desynced(self) -> bool:
+        """Whether a failed mirror delta left the backend copy lagging.
+
+        When true the attached backend no longer matches the working store;
+        the owner must bulk re-sync before trusting pushed-down queries
+        (the Semandaq facade does this automatically before its next
+        ``detect``).
+        """
+        return self._detector.mirror_desynced
+
+    def mark_backend_resynced(self) -> None:
+        """Clear the desync flag after the owner bulk re-synced the backend."""
+        self._detector.mirror_desynced = False
+
+    def detach_backend(self) -> None:
+        """Stop mirroring updates to the attached backend.
+
+        The owner calls this when retiring a monitor (e.g. after its
+        relation was replaced): a stale monitor still held by user code
+        must not keep shipping deltas from the detached relation into the
+        backend copy of the new one.
+        """
+        self.backend = None
+        self._detector.mirror = None
+        self._detector.mirror_desynced = False
 
     # -- applying updates ----------------------------------------------------------------
 
@@ -109,8 +146,20 @@ class DataMonitor:
         repair = self._repairer.repair_updates(
             self._detector.relation, self.cfds, live
         )
+        # Safety net: incremental repair must never rewrite previously
+        # cleansed data (every tid outside the update batch is protected).
+        # The O(#changes) scan keeps the happy path cheap; the full
+        # protected set is only materialised when a violation is about to
+        # be reported anyway.
+        updated = set(live)
+        if any(change.tid not in updated for change in repair.changes):
+            protected = [
+                tid for tid in self._detector.relation.tids() if tid not in updated
+            ]
+            self._repairer.verify_untouched(repair, protected)
         # apply the repair's changes to the monitored relation and to the
-        # incremental detection state
+        # incremental detection state (each change also reaches the attached
+        # backend as a per-tid UPDATE through the detector's mirror)
         for change in repair.changes:
             if change.tid in self._detector.relation:
                 self._detector.update(change.tid, {change.attribute: change.new_value})

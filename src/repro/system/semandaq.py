@@ -83,8 +83,16 @@ class Semandaq:
         self._reports: Dict[str, ViolationReport] = {}
         self._repairs: Dict[str, Repair] = {}
         self._monitors: Dict[str, DataMonitor] = {}
-        #: relations whose backend copy matches the working store
+        #: relations that have been bulk-loaded into the backend at least once
         self._synced: Set[str] = set()
+        #: relations whose backend copy is known to lag the working store
+        #: (set when the working store mutates outside the delta-shipping
+        #: paths; cleared by the next full sync)
+        self._stale: Set[str] = set()
+        #: number of whole-relation bulk loads shipped to the backend
+        #: (``add_relation(replace=True)``); tests and benchmarks read this
+        #: to assert the delta paths avoid full re-syncs
+        self.full_sync_count = 0
 
     # -- step 1: connect data -------------------------------------------------------------
 
@@ -103,7 +111,7 @@ class Semandaq:
                 rows=[dict(row) for row in rows or []],
                 replace=replace,
             )
-        self._sync_backend(relation.name)
+        self._on_relation_replaced(relation.name)
         return relation
 
     def load_csv(self, source: str, name: str, **kwargs: Any) -> Relation:
@@ -114,8 +122,24 @@ class Semandaq:
         """
         relation = load_csv(source, name, **kwargs)
         self.database.add_relation(relation, replace=True)
-        self._sync_backend(name)
+        self._on_relation_replaced(name)
         return relation
+
+    def _on_relation_replaced(self, relation_name: str) -> None:
+        """Bookkeeping after the working copy of a relation was swapped out.
+
+        Any cached monitor is bound to the replaced :class:`Relation` object;
+        left in place it would keep mirroring deltas from that ghost into the
+        backend — and so would a reference to it still held by user code, so
+        its backend is detached as well.  A fresh monitor is created on the
+        next ``monitor()`` call, bound to the new data; the stale detection
+        report is dropped and the new contents bulk-loaded.
+        """
+        retired = self._monitors.pop(relation_name, None)
+        if retired is not None:
+            retired.detach_backend()
+        self._reports.pop(relation_name, None)
+        self._sync_backend(relation_name)
 
     def _sync_backend(self, relation_name: str) -> None:
         """Mirror the working copy of ``relation_name`` into the backend.
@@ -129,20 +153,42 @@ class Semandaq:
             return
         self.backend.add_relation(self.database.relation(relation_name), replace=True)
         self._synced.add(relation_name)
+        self._stale.discard(relation_name)
+        self.full_sync_count += 1
+        monitor = self._monitors.get(relation_name)
+        if monitor is not None:
+            monitor.mark_backend_resynced()
 
     def _sync_backend_if_stale(self, relation_name: str) -> None:
         """Re-sync only when the backend copy may be out of date.
 
-        That is: the relation was never synced, or a monitor exists for it
-        (monitors mutate the working store directly, so any update batch can
-        have run since the last sync).  Facade-level mutations
-        (``register_relation``/``load_csv``/``apply_repair``) sync eagerly,
-        so repeated ``detect`` calls on static data skip the bulk reload.
+        That is: the relation was never synced, or it was explicitly marked
+        stale.  Monitored relations no longer force a whole-relation reload:
+        the monitor ships every applied update (and every incremental-repair
+        change) down to the backend as a per-tid delta, so the backend copy
+        tracks the working store continuously.  Facade-level mutations
+        (``register_relation``/``load_csv``) sync eagerly and
+        ``apply_repair`` ships per-tid deltas, so repeated ``detect`` calls
+        never bulk-reload a relation that is already current.
         """
         if self._backend_shared:
             return
-        if relation_name not in self._synced or relation_name in self._monitors:
+        monitor = self._monitors.get(relation_name)
+        if (
+            relation_name not in self._synced
+            or relation_name in self._stale
+            or (monitor is not None and monitor.backend_desynced)
+        ):
             self._sync_backend(relation_name)
+
+    def mark_backend_stale(self, relation_name: str) -> None:
+        """Flag ``relation_name`` for a full re-sync before the next detect.
+
+        Call this after mutating the working database directly (outside the
+        monitor and repair paths, which keep the backend current on their
+        own).
+        """
+        self._stale.add(relation_name)
 
     def schema_summary(self) -> Dict[str, List[str]]:
         """The automatically discovered schema shown after connecting."""
@@ -175,10 +221,12 @@ class Semandaq:
     def detect(self, relation_name: str) -> ViolationReport:
         """Run (SQL-based) violation detection for every CFD on ``relation_name``.
 
-        The working copy is re-synced into the storage backend first when it
-        may be stale, so updates applied through the monitor (which mutates
-        the working database) are visible to the pushed-down detection
-        queries.
+        The backend copy is expected to be current: bulk loads happen at
+        registration, monitors ship every applied update down as a per-tid
+        delta, and ``apply_repair`` ships repaired cells as per-tid UPDATEs.
+        A full re-sync therefore only happens when the relation was never
+        loaded or was explicitly marked stale
+        (:meth:`mark_backend_stale`).
         """
         self._sync_backend_if_stale(relation_name)
         cfds = self.constraints.cfds(relation_name)
@@ -240,8 +288,12 @@ class Semandaq:
     def apply_repair(self, relation_name: str, reviewed: Optional[Relation] = None) -> Relation:
         """Replace the stored relation with the repaired (or reviewed) version.
 
-        Also invalidates cached detection reports and switches any monitor of
-        the relation to "cleansed" mode.
+        The backend copy is brought up to date by shipping one UPDATE per
+        repaired tuple (the repair's cell changes) instead of bulk-reloading
+        the whole relation; a full re-sync only happens when the tuple-id
+        sets diverge (something other than cell repairs changed the data) or
+        the relation was never loaded.  Also invalidates cached detection
+        reports and switches any monitor of the relation to "cleansed" mode.
         """
         if relation_name not in self._repairs and reviewed is None:
             raise ConfigurationError(
@@ -249,12 +301,66 @@ class Semandaq:
             )
         new_relation = reviewed or self._repairs[relation_name].repaired
         replacement = new_relation.copy()
+        old_relation = (
+            self.database.relation(relation_name)
+            if self.database.has_relation(relation_name)
+            else None
+        )
         self.database.add_relation(replacement, replace=True)
-        self._sync_backend(relation_name)
+        self._ship_backend_delta(relation_name, old_relation, replacement)
         self._reports.pop(relation_name, None)
         if relation_name in self._monitors:
             self._monitors[relation_name] = self._make_monitor(relation_name, cleansed=True)
         return replacement
+
+    def _ship_backend_delta(
+        self,
+        relation_name: str,
+        old_relation: Optional[Relation],
+        new_relation: Relation,
+    ) -> None:
+        """Bring the backend copy from ``old_relation`` to ``new_relation``.
+
+        When the backend copy was current (synced, not stale) and the tuple-id
+        sets agree — repairs only modify cell values — the changed cells are
+        shipped as per-tid UPDATE statements.  Anything else falls back to a
+        full bulk re-sync.
+
+        The diff is computed from the in-memory relations (one pass over
+        each, no backend round trips), so it is robust against the working
+        store having drifted since ``repair()`` — e.g. monitor updates in
+        between — where replaying the repair's recorded cell changes would
+        silently miss the reverted cells.  ``apply_repair`` already
+        materialises a full copy of the relation, so the diff adds a
+        constant factor, not a new asymptotic cost; only the changed cells
+        travel to the backend.
+        """
+        if self._backend_shared:
+            return
+        monitor = self._monitors.get(relation_name)
+        if (
+            old_relation is None
+            or relation_name not in self._synced
+            or relation_name in self._stale
+            or (monitor is not None and monitor.backend_desynced)
+        ):
+            self._sync_backend(relation_name)
+            return
+        old_rows = dict(old_relation.rows())
+        new_rows = dict(new_relation.rows())
+        if old_rows.keys() != new_rows.keys():
+            self._sync_backend(relation_name)
+            return
+        attributes = new_relation.attribute_names
+        for tid, old_row in old_rows.items():
+            new_row = new_rows[tid]
+            changes = {
+                attr: new_row.get(attr)
+                for attr in attributes
+                if old_row.get(attr) != new_row.get(attr)
+            }
+            if changes:
+                self.backend.update_row(relation_name, tid, changes)
 
     # -- step 7: monitor -----------------------------------------------------------------------------
 
@@ -273,12 +379,16 @@ class Semandaq:
         return self._monitors[relation_name]
 
     def _make_monitor(self, relation_name: str, cleansed: bool) -> DataMonitor:
+        # a fresh monitor only mirrors updates applied from now on, so the
+        # backend copy must be current before delta shipping takes over
+        self._sync_backend_if_stale(relation_name)
         return DataMonitor(
             self.database,
             relation_name,
             self.constraints.cfds(relation_name),
             cost_model=self.cost_model,
             cleansed=cleansed,
+            backend=None if self._backend_shared else self.backend,
         )
 
     # -- lifecycle ---------------------------------------------------------------------------------------

@@ -10,10 +10,15 @@ import pytest
 
 from repro import Semandaq, SemandaqConfig
 from repro.backends import MemoryBackend, SqliteBackend
+from repro.core.cfd import CFD
+from repro.core.pattern import PatternTuple
 from repro.datasets import generate_customers, inject_noise, paper_cfds
 from repro.detection.detector import ErrorDetector
+from repro.detection.incremental import IncrementalDetector
 from repro.engine.csvio import dump_csv
 from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
 
 
 @pytest.fixture(scope="module")
@@ -104,6 +109,144 @@ class TestThreeWayParity:
         }
         backend.close()
         assert any(name.startswith("idx_customer_") for name in names)
+
+
+def _four_way_reports(relation, cfds):
+    """Reports from every detection path: native, both SQL backends, incremental."""
+    database = Database()
+    database.add_relation(relation.copy())
+    native = ErrorDetector(database, use_sql=False).detect(relation.name, cfds)
+    memory_sql = ErrorDetector(database, use_sql=True).detect(relation.name, cfds)
+    sqlite_backend = SqliteBackend()
+    sqlite_backend.add_relation(relation.copy())
+    sqlite_sql = ErrorDetector(sqlite_backend, use_sql=True).detect(
+        relation.name, cfds
+    )
+    sqlite_backend.close()
+    incremental = IncrementalDetector(database, relation.name, cfds).report()
+    return {
+        "native": native,
+        "memory_sql": memory_sql,
+        "sqlite_sql": sqlite_sql,
+        "incremental": incremental,
+    }
+
+
+def _violation_keys(report):
+    """Full violation identity, including the pattern index the paths must agree on."""
+    return sorted(
+        (
+            violation.cfd_id,
+            violation.kind,
+            violation.tids,
+            violation.rhs_attribute,
+            violation.pattern_index,
+            violation.lhs_values,
+        )
+        for violation in report.violations
+    )
+
+
+class TestOverlappingPatternParity:
+    """Tableaux whose pattern tuples overlap: every path must report each
+    violating LHS group exactly once, under its lowest violating pattern."""
+
+    def test_overlapping_wildcard_rhs_patterns(self):
+        schema = RelationSchema.of("r", ["A", "B", "C"])
+        relation = Relation.from_rows(
+            schema,
+            [
+                {"A": "x", "B": "1", "C": "c1"},
+                {"A": "x", "B": "1", "C": "c2"},  # violates patterns 0 and 1
+                {"A": "y", "B": "1", "C": "c1"},
+                {"A": "y", "B": "1", "C": "c3"},  # violates pattern 1 only
+                {"A": "x", "B": "2", "C": "c1"},
+                {"A": "x", "B": "2", "C": "c1"},  # agrees: no violation
+            ],
+        )
+        cfd = CFD(
+            relation="r",
+            lhs=("A", "B"),
+            rhs=("C",),
+            patterns=(
+                PatternTuple.of({"A": "x", "B": "_", "C": "_"}),
+                PatternTuple.of({"A": "_", "B": "_", "C": "_"}),
+            ),
+            name="phi_overlap",
+        )
+        reports = _four_way_reports(relation, [cfd])
+        keys = {name: _violation_keys(report) for name, report in reports.items()}
+        assert keys["native"] == keys["memory_sql"] == keys["sqlite_sql"] == keys[
+            "incremental"
+        ]
+        by_group = {
+            violation.lhs_values: violation.pattern_index
+            for violation in reports["sqlite_sql"].violations
+        }
+        # each group once, under the lowest pattern that covers it
+        assert by_group == {("x", "1"): 0, ("y", "1"): 1}
+
+    def test_overlapping_constant_rhs_patterns(self):
+        schema = RelationSchema.of("r", ["A", "C"])
+        relation = Relation.from_rows(
+            schema,
+            [
+                {"A": "x", "C": "zz"},  # violates patterns 0 and 1
+                {"A": "y", "C": "zz"},  # violates pattern 0 only
+                {"A": "x", "C": "c1"},  # clean
+            ],
+        )
+        cfd = CFD(
+            relation="r",
+            lhs=("A",),
+            rhs=("C",),
+            patterns=(
+                PatternTuple.of({"A": "_", "C": "c1"}),
+                PatternTuple.of({"A": "x", "C": "c1"}),
+            ),
+            name="phi_const_overlap",
+        )
+        reports = _four_way_reports(relation, [cfd])
+        keys = {name: _violation_keys(report) for name, report in reports.items()}
+        assert keys["native"] == keys["memory_sql"] == keys["sqlite_sql"] == keys[
+            "incremental"
+        ]
+        by_tid = {
+            violation.tids[0]: violation.pattern_index
+            for violation in reports["sqlite_sql"].violations
+        }
+        assert by_tid == {0: 0, 1: 0}
+
+    def test_merged_cfd_with_two_wildcard_rhs_attributes(self):
+        # The disagreement lives on the SECOND wildcard RHS attribute; a Q_V
+        # covering only the first would silently miss it.
+        schema = RelationSchema.of("r", ["A", "B", "C"])
+        relation = Relation.from_rows(
+            schema,
+            [
+                {"A": "x", "B": "b1", "C": "c1"},
+                {"A": "x", "B": "b1", "C": "c2"},  # B agrees, C disagrees
+                {"A": "y", "B": "b1", "C": "c1"},
+                {"A": "y", "B": "b2", "C": "c1"},  # B disagrees, C agrees
+            ],
+        )
+        cfd = CFD(
+            relation="r",
+            lhs=("A",),
+            rhs=("B", "C"),
+            patterns=(PatternTuple.of({"A": "_", "B": "_", "C": "_"}),),
+            name="phi_two_rhs",
+        )
+        reports = _four_way_reports(relation, [cfd])
+        keys = {name: _violation_keys(report) for name, report in reports.items()}
+        assert keys["native"] == keys["memory_sql"] == keys["sqlite_sql"] == keys[
+            "incremental"
+        ]
+        by_rhs = {
+            violation.rhs_attribute: violation.tids
+            for violation in reports["sqlite_sql"].violations
+        }
+        assert by_rhs == {"C": (0, 1), "B": (2, 3)}
 
 
 class TestSqliteEndToEnd:

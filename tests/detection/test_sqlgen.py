@@ -61,6 +61,50 @@ class TestMultiTupleQuery:
         sql = generator.multi_tuple_query(cfd, "tab")
         assert "CONCAT(t.QUANTITY)" in sql
 
+    def test_one_query_per_wildcard_rhs_attribute(self):
+        from repro.core.cfd import CFD
+        from repro.core.pattern import PatternTuple
+
+        schema = RelationSchema.of("r", ["A", "B", "C"])
+        generator = DetectionSqlGenerator(schema)
+        merged = CFD(
+            relation="r",
+            lhs=("A",),
+            rhs=("B", "C"),
+            patterns=(PatternTuple.of({"A": "_", "B": "_", "C": "_"}),),
+            name="phi",
+        )
+        queries = generator.multi_tuple_queries(merged, "tab")
+        assert [query.rhs_attribute for query in queries] == ["B", "C"]
+        assert "HAVING COUNT(DISTINCT t.B) > 1" in queries[0]
+        assert "HAVING COUNT(DISTINCT t.C) > 1" in queries[1]
+        # the bundle carries every Q_V, not just the first wildcard RHS
+        bundle = generator.generate(merged, "tab")
+        assert len(bundle.multi_sqls) == 2
+        assert bundle.multi_sql is bundle.multi_sqls[0]
+        assert bundle.all_sql() == [query.sql for query in queries]
+
+    def test_explicit_rhs_attribute_selection(self, generator):
+        from repro.core.cfd import CFD
+        from repro.core.pattern import PatternTuple
+
+        merged = CFD(
+            relation="customer",
+            lhs=("ZIP",),
+            rhs=("STR", "CITY"),
+            patterns=(
+                PatternTuple.of({"ZIP": "_", "STR": "_", "CITY": "London"}),
+            ),
+            name="phi",
+        )
+        query = generator.multi_tuple_query(merged, "tab", rhs_attribute="STR")
+        assert query.rhs_attribute == "STR"
+        # CITY has no wildcard pattern, so no Q_V covers it
+        assert generator.multi_tuple_query(merged, "tab", rhs_attribute="CITY") is None
+        assert [q.rhs_attribute for q in generator.multi_tuple_queries(merged, "tab")] == [
+            "STR"
+        ]
+
 
 class TestGeneratedSqlRuns:
     def test_queries_execute_on_engine(self, customer_relation):

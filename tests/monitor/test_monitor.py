@@ -99,3 +99,29 @@ class TestRepairMode:
         assert summary["updates_applied"] == 1
         assert summary["current_violations"] >= 1
         assert summary["tuples_examined"] > 0
+
+
+class TestBackendMirroring:
+    def test_attached_backend_receives_every_update_as_delta(
+        self, clean_database, customer_cfds
+    ):
+        from repro.backends import SqliteBackend
+
+        backend = SqliteBackend()
+        backend.add_relation(clean_database.relation("customer"))
+        monitor = DataMonitor(
+            clean_database, "customer", customer_cfds, backend=backend
+        )
+        relation = clean_database.relation("customer")
+        tids = relation.tids()
+        new_tid = monitor.apply(Update.insert(violating_insert(relation)))
+        monitor.apply(Update.modify(tids[1], {"CNT": "Narnia"}))
+        monitor.apply(Update.delete(tids[2]))
+        # the backend copy tracked every change, tid for tid
+        assert dict(backend.iter_rows("customer")) == dict(relation.rows())
+        assert backend.get_row("customer", new_tid)["STR"] == "A Brand New Street"
+        backend.close()
+
+    def test_monitor_without_backend_keeps_seed_behaviour(self, monitor):
+        assert monitor.backend is None
+        assert monitor._detector.mirror is None
