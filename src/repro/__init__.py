@@ -38,6 +38,7 @@ Quickstart::
 """
 
 from .backends import (
+    DeltaBatch,
     MemoryBackend,
     SqliteBackend,
     StorageBackend,
@@ -70,6 +71,7 @@ __all__ = [
     "format_cfd",
     "Database",
     "StorageBackend",
+    "DeltaBatch",
     "MemoryBackend",
     "SqliteBackend",
     "available_backends",

@@ -4,7 +4,10 @@ The paper's system compiles CFD violation detection to SQL and pushes it
 down to the underlying DBMS.  This package makes that layer pluggable:
 
 * :class:`~repro.backends.base.StorageBackend` — the narrow interface
-  (catalog ops, bulk loading, tid-stable row access, ``execute``);
+  (catalog ops, bulk loading, tid-stable row access, ``execute``,
+  ``apply_delta_batch``);
+* :class:`~repro.backends.delta.DeltaBatch` — the first-class, coalescing
+  changeset the update path ships to a backend in one transaction;
 * :class:`~repro.backends.memory.MemoryBackend` — adapter over the embedded
   engine (:mod:`repro.engine`);
 * :class:`~repro.backends.sqlite.SqliteBackend` — real-DBMS pushdown on the
@@ -23,6 +26,7 @@ and register a factory with :func:`register_backend`.
 """
 
 from .base import StorageBackend
+from .delta import DeltaBatch
 from .dialect import MEMORY_DIALECT, SQLITE_DIALECT, MemoryDialect, SqlDialect, SqliteDialect
 from .memory import MemoryBackend
 from .registry import (
@@ -35,6 +39,7 @@ from .sqlite import SqliteBackend
 
 __all__ = [
     "StorageBackend",
+    "DeltaBatch",
     "MemoryBackend",
     "SqliteBackend",
     "SqlDialect",

@@ -13,10 +13,12 @@ database server:
   across backends and across round trips;
 * **delta operations** — :meth:`insert_row`, :meth:`delete_row` and
   :meth:`update_row` apply a single-tuple change without reloading the
-  relation.  The data monitor ships every monitored update (and every
-  incremental-repair cell change) down as one of these, which is what keeps
-  a backend-resident copy current at a cost proportional to the update
-  batch instead of the relation;
+  relation, and :meth:`apply_delta_batch` applies a whole
+  :class:`~repro.backends.delta.DeltaBatch` of such changes in one round
+  trip (one transaction on SQLite).  The data monitor ships every monitored
+  update batch (and every incremental-repair cell change) down this way,
+  which is what keeps a backend-resident copy current at a cost
+  proportional to the update batch instead of the relation;
 * **query execution** — :meth:`execute` runs a detection query (in the
   backend's own :class:`~repro.backends.dialect.SqlDialect`) and returns
   plain row dicts;
@@ -38,6 +40,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Seque
 
 from ..engine.relation import Relation
 from ..engine.types import RelationSchema
+from .delta import DeltaBatch
 from .dialect import SqlDialect
 
 
@@ -122,6 +125,26 @@ class StorageBackend(abc.ABC):
         change.
         """
 
+    def apply_delta_batch(self, name: str, batch: DeltaBatch) -> None:
+        """Apply a whole :class:`~repro.backends.delta.DeltaBatch` to ``name``.
+
+        The batch is already coalesced (at most one net operation per tid),
+        so the application order — all deletes, then all inserts, then all
+        updates — is always safe, including for replaces (delete + insert
+        of the same tid).
+
+        The base implementation loops over the single-statement delta ops;
+        backends with a cheaper grouped path (a single transaction, one
+        ``executemany`` per operation kind) override it.  Backends that can
+        roll back must apply the batch atomically: on failure, none of it.
+        """
+        for tid in batch.deletes:
+            self.delete_row(name, tid)
+        for tid, row in batch.inserts:
+            self.insert_row(name, row, tid=tid)
+        for tid, changes in batch.updates:
+            self.update_row(name, tid, changes)
+
     @abc.abstractmethod
     def get_row(self, name: str, tid: int) -> Dict[str, Any]:
         """The row stored under tuple id ``tid``."""
@@ -168,6 +191,12 @@ class StorageBackend(abc.ABC):
 
     def close(self) -> None:
         """Release backend resources (connections, file handles)."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -17,6 +17,7 @@ from ..engine.database import Database
 from ..engine.relation import Relation
 from ..engine.types import RelationSchema
 from .base import StorageBackend
+from .delta import DeltaBatch
 from .dialect import MEMORY_DIALECT
 
 
@@ -77,6 +78,17 @@ class MemoryBackend(StorageBackend):
 
     def update_row(self, name: str, tid: int, changes: Mapping[str, Any]) -> None:
         self.database.relation(name).update(tid, dict(changes))
+
+    def apply_delta_batch(self, name: str, batch: DeltaBatch) -> None:
+        # Applied directly against the engine relation: one attribute-lookup
+        # round per op, no per-op dispatch through the public delta methods.
+        relation = self.database.relation(name)
+        for tid in batch.deletes:
+            relation.delete(tid)
+        for tid, row in batch.inserts:
+            relation.insert_at(tid, dict(row))
+        for tid, changes in batch.updates:
+            relation.update(tid, dict(changes))
 
     def get_row(self, name: str, tid: int) -> Dict[str, Any]:
         return self.database.relation(name).get(tid)

@@ -35,6 +35,7 @@ from ..errors import (
 from ..engine.relation import Relation
 from ..engine.types import AttributeDef, DataType, RelationSchema
 from .base import StorageBackend
+from .delta import DeltaBatch
 from .dialect import SQLITE_DIALECT
 
 #: SQLite column affinity per engine data type
@@ -56,6 +57,11 @@ _AFFINITY_TYPES = {
 
 #: name of the hidden tuple-id column
 TID_COLUMN = "_tid"
+
+#: name prefix of the detection layer's internal relations (temporary
+#: detection tableaux and the incremental detector's resident tableaux);
+#: never part of the user's catalog
+INTERNAL_RELATION_PREFIX = "__semandaq_"
 
 
 def _ident(name: str) -> str:
@@ -93,6 +99,9 @@ class SqliteBackend(StorageBackend):
         Every table with a ``_tid`` column reopens as a relation (schema
         reconstructed from column affinities, tid counter from the highest
         stored tid), so a file-backed store survives across sessions.
+        Internal detection tableaux orphaned by an unclean shutdown are
+        dropped instead of being adopted as user relations — they are
+        derived data their owner re-materialises on demand.
         """
         tables = self._conn.execute(
             "SELECT name FROM sqlite_master WHERE type = 'table'"
@@ -100,6 +109,10 @@ class SqliteBackend(StorageBackend):
         for table in tables:
             name = table["name"]
             if name.startswith("sqlite_"):
+                continue
+            if name.startswith(INTERNAL_RELATION_PREFIX):
+                self._conn.execute(f"DROP TABLE IF EXISTS {_ident(name)}")
+                self._conn.commit()
                 continue
             info = self._conn.execute(f"PRAGMA table_info({_ident(name)})").fetchall()
             if TID_COLUMN not in {column["name"] for column in info}:
@@ -271,6 +284,71 @@ class SqliteBackend(StorageBackend):
             raise UnknownTupleError(tid)
         self._conn.commit()
 
+    def apply_delta_batch(self, name: str, batch: DeltaBatch) -> None:
+        """Apply a whole batch in one transaction: executemany per op kind.
+
+        Where the single-statement delta ops pay one commit each, the batch
+        pays exactly one — the grouped statements run inside one implicit
+        transaction and either all commit or (on any failure) all roll
+        back, so the backend copy never holds half an update batch.
+        """
+        schema = self._require(name)
+        if batch.is_empty():
+            return
+        deletes = batch.deletes
+        inserts = batch.inserts
+        try:
+            if deletes:
+                cursor = self._conn.executemany(
+                    f"DELETE FROM {_ident(name)} WHERE {_ident(TID_COLUMN)} = ?",
+                    [(tid,) for tid in deletes],
+                )
+                if cursor.rowcount != len(deletes):
+                    # roll back first so the existence probe sees the
+                    # pre-batch state (the present tids are deleted by now)
+                    self._conn.rollback()
+                    raise UnknownTupleError(self._first_missing_tid(name, deletes))
+            if inserts:
+                self._bulk_insert(
+                    name,
+                    [(tid, schema.coerce_row(dict(row))) for tid, row in inserts],
+                )
+            for attrs, group in batch.grouped_updates():
+                for attr_name in attrs:
+                    schema.attribute(attr_name)  # validates existence
+                assignments = ", ".join(f"{_ident(a)} = ?" for a in attrs)
+                cursor = self._conn.executemany(
+                    f"UPDATE {_ident(name)} SET {assignments} "
+                    f"WHERE {_ident(TID_COLUMN)} = ?",
+                    [
+                        tuple(
+                            _encode(schema.attribute(a).coerce(changes[a]))
+                            for a in attrs
+                        )
+                        + (tid,)
+                        for tid, changes in group
+                    ],
+                )
+                if cursor.rowcount != len(group):
+                    self._conn.rollback()
+                    raise UnknownTupleError(
+                        self._first_missing_tid(name, [tid for tid, _ in group])
+                    )
+        except sqlite3.IntegrityError as exc:
+            self._conn.rollback()
+            raise ConstraintViolationError(str(exc)) from exc
+        except sqlite3.Error as exc:
+            self._conn.rollback()
+            raise SqlExecutionError(str(exc)) from exc
+        except Exception:
+            self._conn.rollback()
+            raise
+        self._conn.commit()
+        if inserts:
+            self._next_tid[name] = max(
+                self._next_tid[name], max(tid for tid, _row in inserts) + 1
+            )
+
     def get_row(self, name: str, tid: int) -> Dict[str, Any]:
         schema = self._require(name)
         cursor = self._conn.execute(
@@ -311,10 +389,19 @@ class SqliteBackend(StorageBackend):
             # Surface the engine's error type so callers can switch backends
             # without changing their exception handling.
             raise SqlExecutionError(str(exc)) from exc
-        if cursor.description is None:
+        rows = (
+            []
+            if cursor.description is None
+            else [dict(row) for row in cursor.fetchall()]
+        )
+        # Commit only when the statement actually opened a write transaction.
+        # Read-only statements (the detection SELECTs) never do, so they no
+        # longer pay a WAL write per query — and DML that *returns* rows
+        # (e.g. RETURNING clauses) is committed, which keying the decision
+        # on ``cursor.description`` alone would miss.
+        if self._conn.in_transaction:
             self._conn.commit()
-            return []
-        return [dict(row) for row in cursor.fetchall()]
+        return rows
 
     def ensure_index(self, name: str, attributes: Sequence[str]) -> None:
         schema = self._require(name)
@@ -337,6 +424,21 @@ class SqliteBackend(StorageBackend):
         self._conn.close()
 
     # -- internal -------------------------------------------------------------------
+
+    def _first_missing_tid(self, name: str, tids: Sequence[int]) -> int:
+        """The first tid of ``tids`` not stored in ``name`` (for error reports).
+
+        Only called on the batch error path, after the failed transaction
+        rolled back, so the probes see the pre-batch state.
+        """
+        for tid in tids:
+            row = self._conn.execute(
+                f"SELECT 1 FROM {_ident(name)} WHERE {_ident(TID_COLUMN)} = ?",
+                (tid,),
+            ).fetchone()
+            if row is None:
+                return tid
+        return tids[0]  # pragma: no cover - rowcount mismatch implies a miss
 
     def _require(self, name: str) -> RelationSchema:
         if name not in self._schemas:

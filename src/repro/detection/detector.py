@@ -50,6 +50,32 @@ def _sub_cfd(cfd: CFD, rhs_attribute: str) -> CFD:
     )
 
 
+def group_member_tids(
+    relation: Relation,
+    cfd: CFD,
+    pattern: PatternTuple,
+    lhs_values: Tuple[Any, ...],
+    rhs_attribute: str,
+) -> List[int]:
+    """Tids of the tuples belonging to one violating LHS group.
+
+    Shared by the batch SQL detector and the incremental detector's
+    ``sql_delta`` mode: the grouping queries identify *which* groups
+    violate; membership (pattern applicability, non-NULL RHS) is enumerated
+    here against the in-memory relation's hash index.
+    """
+    candidate_tids = relation.lookup(list(cfd.lhs), list(lhs_values))
+    members: List[int] = []
+    for tid in candidate_tids:
+        row = relation.get(tid)
+        if not cfd.applies_to(row, pattern):
+            continue
+        if row.get(rhs_attribute) is None:
+            continue
+        members.append(tid)
+    return sorted(members)
+
+
 class ErrorDetector:
     """Detects single-tuple and multi-tuple CFD violations in a relation."""
 
@@ -232,17 +258,9 @@ class ErrorDetector:
         lhs_values: Tuple[Any, ...],
         rhs_attribute: Optional[str] = None,
     ) -> List[int]:
-        rhs_attribute = rhs_attribute or cfd.rhs[0]
-        candidate_tids = relation.lookup(list(cfd.lhs), list(lhs_values))
-        members: List[int] = []
-        for tid in candidate_tids:
-            row = relation.get(tid)
-            if not cfd.applies_to(row, pattern):
-                continue
-            if row.get(rhs_attribute) is None:
-                continue
-            members.append(tid)
-        return sorted(members)
+        return group_member_tids(
+            relation, cfd, pattern, lhs_values, rhs_attribute or cfd.rhs[0]
+        )
 
     # -- native (non-SQL) path --------------------------------------------------------
 

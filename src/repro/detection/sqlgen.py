@@ -147,6 +147,30 @@ class DetectionSqlGenerator:
 
         Returns ``None`` when no pattern tuple of the CFD has a constant RHS.
         """
+        return self._single_query(cfd, tableau_name)
+
+    def single_tuple_query_delta(
+        self, cfd: CFD, tableau_name: str, tid_count: int
+    ) -> Optional[SqlQuery]:
+        """Delta ``Q_C``: re-check only the ``tid_count`` affected tuples.
+
+        The incremental detector's backend-resident mode runs this after a
+        :class:`~repro.backends.delta.DeltaBatch` ships: only the tuples the
+        batch touched can have gained or lost a single-tuple violation, so
+        the query appends a tid restriction with one ``?`` placeholder per
+        affected tid.  The caller binds ``query.parameters`` followed by the
+        tids themselves (the delta placeholders come last).
+        """
+        if tid_count < 1:
+            raise ValueError("tid_count must be at least 1")
+        return self._single_query(cfd, tableau_name, delta_tid_count=tid_count)
+
+    def _single_query(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        delta_tid_count: Optional[int] = None,
+    ) -> Optional[SqlQuery]:
         rhs_constant_exists = any(
             cfd.rhs_pattern(pattern).value(attr).is_constant
             for pattern in cfd.patterns
@@ -164,8 +188,17 @@ class DetectionSqlGenerator:
                 f"({tab_column} <> {self._wildcard(params)} AND "
                 f"({data_column} <> {tab_column} OR {DATA_ALIAS}.{attribute} IS NULL))"
             )
-        rhs_condition = "(" + " OR ".join(rhs_parts) + ")"
-        where = " AND ".join(conditions + [rhs_condition]) if conditions else rhs_condition
+        conditions.append("(" + " OR ".join(rhs_parts) + ")")
+        if delta_tid_count is not None:
+            # The caller-bound tid placeholders come last, *after* every
+            # generator-bound wildcard placeholder, so binding order is
+            # always ``query.parameters`` followed by the affected tids.
+            conditions.append(
+                "("
+                + " OR ".join(f"{DATA_ALIAS}._tid = ?" for _ in range(delta_tid_count))
+                + ")"
+            )
+        where = " AND ".join(conditions)
         select_columns = [
             f"{DATA_ALIAS}._tid AS tid",
             f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} AS pattern_id",
@@ -230,8 +263,36 @@ class DetectionSqlGenerator:
             return None
         return self._multi_tuple_query_for(cfd, tableau_name, rhs_attribute)
 
+    def multi_tuple_query_delta(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        group_count: int,
+    ) -> SqlQuery:
+        """Delta ``Q_V``: re-check only the ``group_count`` affected LHS groups.
+
+        After a :class:`~repro.backends.delta.DeltaBatch` ships, only groups
+        whose LHS values match a touched tuple's old or new LHS values can
+        have changed violation status.  The query appends one
+        ``(t.X1 = ? AND t.X2 = ? ...)`` disjunct per affected group; the
+        caller binds ``query.parameters`` followed by the group's LHS values
+        flattened in ``cfd.lhs`` order (the delta placeholders come last).
+        """
+        if not cfd.lhs:
+            raise ValueError("delta Q_V needs a non-empty LHS")
+        if group_count < 1:
+            raise ValueError("group_count must be at least 1")
+        return self._multi_tuple_query_for(
+            cfd, tableau_name, rhs_attribute, delta_group_count=group_count
+        )
+
     def _multi_tuple_query_for(
-        self, cfd: CFD, tableau_name: str, rhs_attribute: str
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        delta_group_count: Optional[int] = None,
     ) -> SqlQuery:
         params: List[Any] = []
         conditions = self._lhs_conditions(cfd, params)
@@ -239,6 +300,15 @@ class DetectionSqlGenerator:
             f"{TABLEAU_ALIAS}.{rhs_attribute} = {self._wildcard(params)}"
         )
         conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
+        if delta_group_count is not None:
+            group_predicate = " AND ".join(
+                f"{DATA_ALIAS}.{attr} = ?" for attr in cfd.lhs
+            )
+            conditions.append(
+                "("
+                + " OR ".join(f"({group_predicate})" for _ in range(delta_group_count))
+                + ")"
+            )
         group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
         group_columns.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN}")
         select_columns = [

@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..backends.base import StorageBackend
 from ..core.cfd import CFD
-from ..detection.incremental import IncrementalDetector
+from ..detection.incremental import NATIVE_MODE, IncrementalDetector
 from ..detection.violations import ViolationReport
 from ..engine.database import Database
 from ..errors import MonitorError
@@ -37,6 +37,7 @@ class DataMonitor:
         cost_model: Optional[CostModel] = None,
         cleansed: bool = False,
         backend: Optional[StorageBackend] = None,
+        mode: str = NATIVE_MODE,
     ):
         self.database = database
         self.relation_name = relation_name
@@ -45,18 +46,28 @@ class DataMonitor:
         #: whether the relation is considered cleansed (repair mode) or not
         #: (detection mode)
         self.cleansed = cleansed
-        #: storage backend each applied update (and each incremental-repair
-        #: cell change) is shipped to as a per-tid delta; None when the
-        #: working store is the backend itself
+        #: storage backend each applied update batch (and each
+        #: incremental-repair changeset) is shipped to as one
+        #: :class:`~repro.backends.delta.DeltaBatch`; None when the working
+        #: store is the backend itself
         self.backend = backend
         self.log = UpdateLog()
         self._detector = IncrementalDetector(
-            database, relation_name, self.cfds, mirror=backend
+            database, relation_name, self.cfds, mirror=backend, mode=mode
         )
         self._repairer = IncrementalRepairer(cost_model=self.cost_model)
         self._repairs: List[Repair] = []
 
     # -- mode ------------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The *live* incremental evaluation mode (``native`` or ``sql_delta``).
+
+        Delegates to the detector, which may have fallen back to ``native``
+        after :meth:`detach_backend`.
+        """
+        return self._detector.mode
 
     def mark_cleansed(self) -> None:
         """Switch to repair mode: future updates are incrementally repaired."""
@@ -80,8 +91,12 @@ class DataMonitor:
         return self._detector.mirror_desynced
 
     def mark_backend_resynced(self) -> None:
-        """Clear the desync flag after the owner bulk re-synced the backend."""
-        self._detector.mirror_desynced = False
+        """Reset the detector after the owner bulk re-synced the backend.
+
+        Clears the desync flag; a ``sql_delta`` detector additionally
+        rebuilds its violation state against the fresh backend copy.
+        """
+        self._detector.mark_resynced()
 
     def detach_backend(self) -> None:
         """Stop mirroring updates to the attached backend.
@@ -89,11 +104,21 @@ class DataMonitor:
         The owner calls this when retiring a monitor (e.g. after its
         relation was replaced): a stale monitor still held by user code
         must not keep shipping deltas from the detached relation into the
-        backend copy of the new one.
+        backend copy of the new one.  A ``sql_delta`` detector falls back
+        to native evaluation against its own working store.
         """
         self.backend = None
-        self._detector.mirror = None
-        self._detector.mirror_desynced = False
+        self._detector.detach_mirror()
+
+    def close(self) -> None:
+        """Release the monitor's detection resources.
+
+        Drops the ``sql_delta`` detector's resident tableaux from the query
+        backend and falls back to ``native`` evaluation; a no-op in
+        ``native`` mode.  The monitor itself remains attached and usable —
+        call :meth:`detach_backend` to stop mirroring.
+        """
+        self._detector.close()
 
     # -- applying updates ----------------------------------------------------------------
 
@@ -115,8 +140,15 @@ class DataMonitor:
         return tid
 
     def apply_batch(self, updates: Iterable[Update]) -> List[Optional[int]]:
-        """Apply a batch of updates; in repair mode, incrementally repair afterwards."""
-        tids = [self.apply(update) for update in updates]
+        """Apply a batch of updates; in repair mode, incrementally repair afterwards.
+
+        The whole batch flows to the attached backend as one coalesced
+        :class:`~repro.backends.delta.DeltaBatch` — a single transaction on
+        SQLite — instead of one statement-plus-commit per update, and the
+        ``sql_delta`` re-checks run once for the batch.
+        """
+        with self._detector.batch():
+            tids = [self.apply(update) for update in updates]
         if self.cleansed:
             affected = [tid for tid in tids if tid is not None]
             self.repair_affected(affected)
@@ -158,11 +190,14 @@ class DataMonitor:
             ]
             self._repairer.verify_untouched(repair, protected)
         # apply the repair's changes to the monitored relation and to the
-        # incremental detection state (each change also reaches the attached
-        # backend as a per-tid UPDATE through the detector's mirror)
-        for change in repair.changes:
-            if change.tid in self._detector.relation:
-                self._detector.update(change.tid, {change.attribute: change.new_value})
+        # incremental detection state (the whole changeset also reaches the
+        # attached backend as one DeltaBatch through the detector's mirror)
+        with self._detector.batch():
+            for change in repair.changes:
+                if change.tid in self._detector.relation:
+                    self._detector.update(
+                        change.tid, {change.attribute: change.new_value}
+                    )
         self._repairs.append(repair)
         return repair
 
@@ -178,9 +213,12 @@ class DataMonitor:
         return {
             "relation": self.relation_name,
             "mode": "repair" if self.cleansed else "detect",
+            "incremental_mode": self._detector.mode,
             "updates_applied": len(self.log),
             "current_violations": report.total_violations(),
             "dirty_tuples": len(report.dirty_tids()),
             "incremental_repairs": len(self._repairs),
             "tuples_examined": self.detection_cost(),
+            "delta_queries": self._detector.delta_queries,
+            "batches_shipped": self._detector.batches_shipped,
         }

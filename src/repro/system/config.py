@@ -26,6 +26,12 @@ class SemandaqConfig:
     use_sql_detection:
         Run detection through generated SQL (the paper's technique).  When
         false, the native Python detector is used instead (the ablation path).
+    incremental_mode:
+        How the data monitor's incremental detector re-checks affected
+        groups after an update batch: ``"native"`` maintains group state in
+        Python (the original path), ``"sql_delta"`` compiles the re-checks
+        to parameterised delta ``Q_C``/``Q_V`` queries pushed down to the
+        storage backend's resident copy.
     repair_max_iterations:
         Round limit of the heuristic repair algorithm.
     audit_majority:
@@ -44,6 +50,7 @@ class SemandaqConfig:
     backend: str = "memory"
     backend_options: Dict[str, Any] = field(default_factory=dict)
     use_sql_detection: bool = True
+    incremental_mode: str = "native"
     repair_max_iterations: int = 25
     audit_majority: float = 0.5
     quality_levels: int = 5
@@ -57,6 +64,13 @@ class SemandaqConfig:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; "
                 f"available: {', '.join(available_backends())}"
+            )
+        from ..detection.incremental import INCREMENTAL_MODES
+
+        if self.incremental_mode not in INCREMENTAL_MODES:
+            raise ConfigurationError(
+                f"unknown incremental_mode {self.incremental_mode!r}; "
+                f"expected one of {', '.join(INCREMENTAL_MODES)}"
             )
         if self.repair_max_iterations < 1:
             raise ConfigurationError("repair_max_iterations must be at least 1")

@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, 
 
 from ..audit.report import DataAuditor, DataQualityReport
 from ..backends.base import StorageBackend
+from ..backends.delta import DeltaBatch
 from ..backends.memory import MemoryBackend
 from ..backends.registry import create_backend
 from ..core.cfd import CFD
@@ -35,6 +36,7 @@ from ..errors import ConfigurationError
 from ..explorer.navigation import DataExplorer
 from ..explorer.session import ExplorationSession
 from ..monitor.monitor import DataMonitor
+from ..monitor.updates import Update
 from ..repair.cost import CostModel
 from ..repair.repairer import BatchRepairer, Repair
 from ..repair.review import RepairReview
@@ -310,6 +312,11 @@ class Semandaq:
         self._ship_backend_delta(relation_name, old_relation, replacement)
         self._reports.pop(relation_name, None)
         if relation_name in self._monitors:
+            # the retired monitor is bound to the replaced Relation object;
+            # detach it so a reference still held by user code cannot keep
+            # mirroring ghost deltas into the backend copy of the new data
+            retired = self._monitors.pop(relation_name)
+            retired.detach_backend()
             self._monitors[relation_name] = self._make_monitor(relation_name, cleansed=True)
         return replacement
 
@@ -352,6 +359,7 @@ class Semandaq:
             self._sync_backend(relation_name)
             return
         attributes = new_relation.attribute_names
+        batch = DeltaBatch(relation=relation_name)
         for tid, old_row in old_rows.items():
             new_row = new_rows[tid]
             changes = {
@@ -360,7 +368,9 @@ class Semandaq:
                 if old_row.get(attr) != new_row.get(attr)
             }
             if changes:
-                self.backend.update_row(relation_name, tid, changes)
+                batch.record_update(tid, changes)
+        if not batch.is_empty():
+            self.backend.apply_delta_batch(relation_name, batch)
 
     # -- step 7: monitor -----------------------------------------------------------------------------
 
@@ -378,6 +388,18 @@ class Semandaq:
                 self._monitors[relation_name].mark_dirty()
         return self._monitors[relation_name]
 
+    def apply_updates(self, relation_name: str, updates: Iterable[Update]) -> List[Optional[int]]:
+        """Apply a batch of updates to a monitored relation.
+
+        The whole batch flows through the relation's data monitor and on to
+        the storage backend as one coalesced
+        :class:`~repro.backends.delta.DeltaBatch` (a single transaction on
+        SQLite).  Returns the affected tid per update (new tids for
+        inserts).  The monitor is created on first use, so this is also the
+        one-call way to start monitoring a relation.
+        """
+        return self.monitor(relation_name).apply_batch(updates)
+
     def _make_monitor(self, relation_name: str, cleansed: bool) -> DataMonitor:
         # a fresh monitor only mirrors updates applied from now on, so the
         # backend copy must be current before delta shipping takes over
@@ -389,6 +411,7 @@ class Semandaq:
             cost_model=self.cost_model,
             cleansed=cleansed,
             backend=None if self._backend_shared else self.backend,
+            mode=self.config.incremental_mode,
         )
 
     # -- lifecycle ---------------------------------------------------------------------------------------
@@ -397,8 +420,12 @@ class Semandaq:
         """Release backend resources (e.g. the SQLite connection).
 
         The memory backend has nothing to release; file-backed backends
-        close their connection so the database file is unlocked.
+        close their connection so the database file is unlocked.  Any
+        ``sql_delta`` monitors drop their resident tableaux first, so a
+        shared in-memory store is left clean.
         """
+        for monitor in self._monitors.values():
+            monitor.close()
         self.backend.close()
 
     def __enter__(self) -> "Semandaq":

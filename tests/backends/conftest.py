@@ -1,0 +1,55 @@
+"""Backend test fixtures: switchable :memory: vs file-backed SQLite.
+
+The backend suite runs against in-memory SQLite by default.  Setting
+``SEMANDAQ_SQLITE_MODE=file`` reroutes every backend these fixtures create
+to a tmp-path database file instead, so CI exercises the parity suite
+against real files (WAL journals, durable commits, catalog reopening) in
+addition to ``:memory:``.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro import SemandaqConfig
+from repro.backends import SqliteBackend
+
+#: whether the suite was asked to run against file-backed SQLite stores
+FILE_MODE = os.environ.get("SEMANDAQ_SQLITE_MODE") == "file"
+
+_counter = itertools.count()
+
+
+@pytest.fixture
+def sqlite_backend_factory(tmp_path):
+    """Build SqliteBackend instances, file-backed when SEMANDAQ_SQLITE_MODE=file.
+
+    Every backend the factory created is closed at teardown (closing twice
+    is harmless, so tests may still close explicitly).
+    """
+    created = []
+
+    def factory(**options):
+        if FILE_MODE and "path" not in options:
+            options["path"] = str(tmp_path / f"backend_{next(_counter)}.db")
+        backend = SqliteBackend(**options)
+        created.append(backend)
+        return backend
+
+    yield factory
+    for backend in created:
+        backend.close()
+
+
+@pytest.fixture
+def sqlite_config(tmp_path):
+    """Build sqlite SemandaqConfigs, file-backed when SEMANDAQ_SQLITE_MODE=file."""
+
+    def factory(**kwargs):
+        options = dict(kwargs.pop("backend_options", {}))
+        if FILE_MODE and "path" not in options:
+            options["path"] = str(tmp_path / f"system_{next(_counter)}.db")
+        return SemandaqConfig(backend="sqlite", backend_options=options, **kwargs)
+
+    return factory

@@ -1,0 +1,282 @@
+"""The DeltaBatch changeset: coalescing rules and grouped backend application.
+
+``DeltaBatch`` is the first-class changeset of the update path: it records
+the *net* per-tuple effect of an update batch and ships to a backend in one
+``apply_delta_batch`` round trip — a single transaction on SQLite
+(``executemany`` per op kind, one commit) instead of one commit per
+statement.  These tests pin the coalescing algebra, the cross-backend
+application parity, SQLite's transactional atomicity and single-commit
+behaviour, and the backend context-manager protocol.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.backends import DeltaBatch, MemoryBackend, SqliteBackend
+from repro.engine.relation import Relation
+from repro.engine.types import AttributeDef, DataType, RelationSchema
+from repro.errors import BackendError, ConstraintViolationError, UnknownTupleError
+
+
+SCHEMA = RelationSchema(
+    "items",
+    [
+        AttributeDef("NAME"),
+        AttributeDef("QTY", DataType.INTEGER),
+        AttributeDef("OK", DataType.BOOLEAN),
+    ],
+)
+
+ROWS = [
+    {"NAME": "bolt", "QTY": 5, "OK": True},
+    {"NAME": "nut", "QTY": 7, "OK": False},
+    {"NAME": "washer", "QTY": 2, "OK": True},
+]
+
+
+def _loaded(backend):
+    backend.add_relation(Relation.from_rows(SCHEMA, ROWS))
+    return backend
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request):
+    if request.param == "memory":
+        instance = _loaded(MemoryBackend())
+    else:
+        instance = _loaded(SqliteBackend())
+    yield instance
+    instance.close()
+
+
+class TestCoalescing:
+    def test_insert_then_update_collapses_to_one_insert(self):
+        batch = DeltaBatch("items")
+        batch.record_insert(3, {"NAME": "screw", "QTY": 1, "OK": True})
+        batch.record_update(3, {"QTY": 9})
+        assert batch.inserts == [(3, {"NAME": "screw", "QTY": 9, "OK": True})]
+        assert batch.updates == []
+        assert batch.deletes == []
+        assert len(batch) == 1
+        assert batch.statement_count == 1
+
+    def test_insert_then_delete_cancels_out(self):
+        batch = DeltaBatch("items")
+        batch.record_insert(3, {"NAME": "screw", "QTY": 1, "OK": True})
+        batch.record_delete(3)
+        assert batch.is_empty()
+        # the tid is free again: a later insert is a plain insert
+        batch.record_insert(3, {"NAME": "pin", "QTY": 2, "OK": False})
+        assert batch.inserts == [(3, {"NAME": "pin", "QTY": 2, "OK": False})]
+
+    def test_updates_merge(self):
+        batch = DeltaBatch("items")
+        batch.record_update(0, {"QTY": 9})
+        batch.record_update(0, {"OK": False, "QTY": 11})
+        assert batch.updates == [(0, {"QTY": 11, "OK": False})]
+        assert batch.statement_count == 1
+
+    def test_update_then_delete_is_a_delete(self):
+        batch = DeltaBatch("items")
+        batch.record_update(0, {"QTY": 9})
+        batch.record_delete(0)
+        assert batch.deletes == [0]
+        assert batch.updates == []
+
+    def test_delete_then_insert_is_a_replace(self):
+        batch = DeltaBatch("items")
+        batch.record_delete(0)
+        batch.record_insert(0, {"NAME": "new bolt", "QTY": 1, "OK": False})
+        assert batch.deletes == [0]
+        assert batch.inserts == [(0, {"NAME": "new bolt", "QTY": 1, "OK": False})]
+        assert batch.statement_count == 2
+        assert len(batch) == 1
+        # updates keep merging into the replace's insert half
+        batch.record_update(0, {"QTY": 4})
+        assert batch.inserts == [(0, {"NAME": "new bolt", "QTY": 4, "OK": False})]
+
+    def test_empty_update_is_a_no_op(self):
+        batch = DeltaBatch("items")
+        batch.record_update(0, {})
+        assert batch.is_empty()
+
+    def test_illegal_sequences_raise(self):
+        batch = DeltaBatch("items")
+        batch.record_insert(1, {"NAME": "x", "QTY": 1, "OK": True})
+        with pytest.raises(BackendError):
+            batch.record_insert(1, {"NAME": "y", "QTY": 2, "OK": True})
+        batch.record_delete(2)
+        with pytest.raises(BackendError):
+            batch.record_update(2, {"QTY": 9})
+        with pytest.raises(BackendError):
+            batch.record_delete(2)
+
+    def test_grouped_updates_share_statement_shapes(self):
+        batch = DeltaBatch("items")
+        batch.record_update(0, {"QTY": 1})
+        batch.record_update(1, {"QTY": 2})
+        batch.record_update(2, {"OK": False, "QTY": 3})
+        groups = dict(batch.grouped_updates())
+        assert set(groups) == {("QTY",), ("OK", "QTY")}
+        assert groups[("QTY",)] == [(0, {"QTY": 1}), (1, {"QTY": 2})]
+
+
+def _mixed_batch():
+    """Insert + update + delete + replace, all in one changeset."""
+    batch = DeltaBatch("items")
+    batch.record_insert(3, {"NAME": "screw", "QTY": 9, "OK": False})
+    batch.record_update(3, {"QTY": 10})
+    batch.record_update(0, {"QTY": 6})
+    batch.record_delete(1)
+    batch.record_delete(2)
+    batch.record_insert(2, {"NAME": "new washer", "QTY": 1, "OK": False})
+    return batch
+
+
+class TestApplyDeltaBatch:
+    def test_application_matches_per_statement_ops(self, backend):
+        backend.apply_delta_batch("items", _mixed_batch())
+        oracle = _loaded(MemoryBackend())
+        oracle.insert_row("items", {"NAME": "screw", "QTY": 10, "OK": False}, tid=3)
+        oracle.update_row("items", 0, {"QTY": 6})
+        oracle.delete_row("items", 1)
+        oracle.delete_row("items", 2)
+        oracle.insert_row("items", {"NAME": "new washer", "QTY": 1, "OK": False}, tid=2)
+        assert list(backend.iter_rows("items")) == list(oracle.iter_rows("items"))
+
+    def test_memory_and_sqlite_agree(self):
+        memory, sqlite_backend = _loaded(MemoryBackend()), _loaded(SqliteBackend())
+        for instance in (memory, sqlite_backend):
+            instance.apply_delta_batch("items", _mixed_batch())
+        assert list(memory.iter_rows("items")) == list(sqlite_backend.iter_rows("items"))
+        sqlite_backend.close()
+
+    def test_empty_batch_is_a_no_op(self, backend):
+        before = list(backend.iter_rows("items"))
+        backend.apply_delta_batch("items", DeltaBatch("items"))
+        assert list(backend.iter_rows("items")) == before
+
+    def test_tid_counter_advances_past_batch_inserts(self, backend):
+        batch = DeltaBatch("items")
+        batch.record_insert(10, {"NAME": "nail", "QTY": 1, "OK": True})
+        backend.apply_delta_batch("items", batch)
+        assert backend.insert_row("items", {"NAME": "pin", "QTY": 2, "OK": True}) == 11
+
+    def test_sqlite_batch_is_atomic_on_unknown_tid(self):
+        backend = _loaded(SqliteBackend())
+        batch = DeltaBatch("items")
+        batch.record_update(0, {"QTY": 99})
+        batch.record_update(42, {"QTY": 1})  # no such tuple
+        before = list(backend.iter_rows("items"))
+        with pytest.raises(UnknownTupleError) as excinfo:
+            backend.apply_delta_batch("items", batch)
+        # the error names the actual missing tid, like the single-op path
+        assert excinfo.value.tid == 42
+        # the whole transaction rolled back: the valid update did not stick
+        assert list(backend.iter_rows("items")) == before
+        backend.close()
+
+    def test_sqlite_batch_reports_missing_delete_tid(self):
+        backend = _loaded(SqliteBackend())
+        batch = DeltaBatch("items")
+        batch.record_delete(0)
+        batch.record_delete(42)  # no such tuple
+        with pytest.raises(UnknownTupleError) as excinfo:
+            backend.apply_delta_batch("items", batch)
+        assert excinfo.value.tid == 42
+        assert backend.row_count("items") == 3  # rolled back
+        backend.close()
+
+    def test_sqlite_batch_is_atomic_on_duplicate_insert(self):
+        backend = _loaded(SqliteBackend())
+        batch = DeltaBatch("items")
+        batch.record_delete(1)
+        batch.record_insert(0, {"NAME": "dup", "QTY": 1, "OK": True})  # tid 0 live
+        before = list(backend.iter_rows("items"))
+        with pytest.raises(ConstraintViolationError):
+            backend.apply_delta_batch("items", batch)
+        assert list(backend.iter_rows("items")) == before
+        backend.close()
+
+    def test_sqlite_batch_commits_exactly_once(self):
+        backend = _loaded(SqliteBackend())
+        commits = []
+
+        class CountingConnection:
+            def __init__(self, conn):
+                self._conn = conn
+
+            def commit(self):
+                commits.append(1)
+                return self._conn.commit()
+
+            def __getattr__(self, attribute):
+                return getattr(self._conn, attribute)
+
+        backend._conn = CountingConnection(backend._conn)
+        backend.apply_delta_batch("items", _mixed_batch())
+        assert sum(commits) == 1
+        backend.close()
+
+
+class TestBackendContextManager:
+    def test_sqlite_backend_closes_on_exit(self):
+        with SqliteBackend() as backend:
+            _loaded(backend)
+            assert backend.row_count("items") == 3
+        with pytest.raises(sqlite3.ProgrammingError):
+            backend._conn.execute("SELECT 1")
+
+    def test_memory_backend_supports_with(self):
+        with MemoryBackend() as backend:
+            _loaded(backend)
+            assert backend.row_count("items") == 3
+
+
+class TestExecuteCommitDiscipline:
+    def test_select_does_not_commit(self):
+        backend = _loaded(SqliteBackend())
+        commits = []
+
+        class CountingConnection:
+            def __init__(self, conn):
+                self._conn = conn
+
+            def commit(self):
+                commits.append(1)
+                return self._conn.commit()
+
+            def __getattr__(self, attribute):
+                return getattr(self._conn, attribute)
+
+        backend._conn = CountingConnection(backend._conn)
+        rows = backend.execute("SELECT COUNT(*) AS n FROM items")
+        assert rows == [{"n": 3}]
+        assert commits == []
+        backend.close()
+
+    def test_dml_through_execute_still_commits(self, tmp_path):
+        path = tmp_path / "commit.db"
+        backend = SqliteBackend(path=str(path))
+        backend.add_relation(Relation.from_rows(SCHEMA, ROWS))
+        backend.execute("UPDATE items SET QTY = 99 WHERE _tid = 0")
+        backend.close()
+        reopened = SqliteBackend(path=str(path))
+        assert reopened.get_row("items", 0)["QTY"] == 99
+        reopened.close()
+
+    def test_row_returning_dml_commits(self, tmp_path):
+        # keying the commit decision on cursor.description alone would skip
+        # the commit for DML that returns rows
+        if sqlite3.sqlite_version_info < (3, 35):
+            pytest.skip("RETURNING needs SQLite >= 3.35")
+        path = tmp_path / "returning.db"
+        backend = SqliteBackend(path=str(path))
+        backend.add_relation(Relation.from_rows(SCHEMA, ROWS))
+        rows = backend.execute("UPDATE items SET QTY = 50 WHERE _tid = 1 RETURNING QTY")
+        assert rows == [{"QTY": 50}]
+        backend.close()
+        reopened = SqliteBackend(path=str(path))
+        assert reopened.get_row("items", 1)["QTY"] == 50
+        reopened.close()

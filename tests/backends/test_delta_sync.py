@@ -15,6 +15,8 @@ import pytest
 from repro import Semandaq, SemandaqConfig
 from repro.backends import MemoryBackend, SqliteBackend
 from repro.datasets import generate_customers, paper_cfds
+from repro.detection.detector import ErrorDetector
+from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.engine.types import AttributeDef, DataType, RelationSchema
 from repro.errors import ConstraintViolationError, RepairError, UnknownTupleError
@@ -155,6 +157,49 @@ class TestMonitoredDeltaSync:
         assert dict(system.backend.iter_rows("customer")) == working
         system.close()
 
+    def test_apply_batch_ships_one_delta_batch_round_trip(self):
+        # three updates, one apply_delta_batch call (one transaction), not
+        # three single-statement round trips
+        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        system.register_relation(generate_customers(40, seed=57).copy())
+        system.add_cfds(paper_cfds())
+        shipped = []
+        original = system.backend.apply_delta_batch
+        system.backend.apply_delta_batch = lambda name, batch: (
+            shipped.append((name, batch.statement_count)),
+            original(name, batch),
+        )
+        _monitored_batch(system)
+        assert shipped == [("customer", 3)]
+        assert system.monitor("customer")._detector.batches_shipped == 1
+        system.close()
+
+    def test_facade_apply_updates_routes_through_one_batch(self):
+        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        system.register_relation(generate_customers(40, seed=58).copy())
+        system.add_cfds(paper_cfds())
+        relation = system.database.relation("customer")
+        shipped = []
+        original = system.backend.apply_delta_batch
+        system.backend.apply_delta_batch = lambda name, batch: (
+            shipped.append(len(batch)),
+            original(name, batch),
+        )
+        tids = system.apply_updates(
+            "customer",
+            [
+                Update.modify(relation.tids()[0], {"CNT": "Narnia"}),
+                Update.modify(relation.tids()[0], {"CITY": "Nowhere"}),
+                Update.delete(relation.tids()[1]),
+            ],
+        )
+        # the two modifies of one tuple coalesced: two touched tuples total
+        assert shipped == [2]
+        assert tids == [relation.tids()[0], relation.tids()[0], 1]
+        assert dict(system.backend.iter_rows("customer")) == dict(relation.rows())
+        assert system.detect("customer").total_violations() > 0
+        system.close()
+
     def test_repair_mode_changes_reach_backend_as_updates(self):
         system = Semandaq(config=SemandaqConfig(backend="sqlite"))
         system.register_relation(generate_customers(50, seed=59).copy())
@@ -171,6 +216,30 @@ class TestMonitoredDeltaSync:
             system.database.relation("customer").rows()
         )
         assert system.full_sync_count == 1
+        system.close()
+
+    def test_apply_repair_detaches_the_retired_monitor(self):
+        # apply_repair swaps the relation and its monitor; a user-held
+        # reference to the old monitor must not keep mirroring deltas from
+        # the replaced (ghost) relation into the backend copy
+        from repro.datasets import inject_noise
+
+        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        dirty = inject_noise(
+            generate_customers(40, seed=79), rate=0.05, seed=80,
+            attributes=["CNT", "CITY", "STR", "CC"],
+        ).dirty
+        system.register_relation(dirty.copy())
+        system.add_cfds(paper_cfds())
+        old_monitor = system.monitor("customer")
+        system.repair("customer")
+        system.apply_repair("customer")
+        assert old_monitor.backend is None
+        live = system.database.relation("customer")
+        ghost_tid = old_monitor._detector.relation.tids()[0]
+        old_monitor.apply(Update.modify(ghost_tid, {"CNT": "GhostLand"}))
+        # the backend copy still tracks the live (repaired) relation
+        assert dict(system.backend.iter_rows("customer")) == dict(live.rows())
         system.close()
 
     def test_reregistering_a_relation_drops_the_stale_monitor(self):
@@ -209,14 +278,14 @@ class TestMonitoredDeltaSync:
         monitor = system.monitor("customer")
         relation = system.database.relation("customer")
 
-        def exploding_update_row(name, tid, changes):
+        def exploding_apply_delta_batch(name, batch):
             raise RuntimeError("disk full")
 
-        original_update_row = system.backend.update_row
-        system.backend.update_row = exploding_update_row
+        original_apply = system.backend.apply_delta_batch
+        system.backend.apply_delta_batch = exploding_apply_delta_batch
         with pytest.raises(RuntimeError):
             monitor.apply(Update.modify(relation.tids()[0], {"CNT": "Narnia"}))
-        system.backend.update_row = original_update_row
+        system.backend.apply_delta_batch = original_apply
         # the working store took the update, the backend did not
         assert monitor.backend_desynced
         assert system.backend.get_row("customer", relation.tids()[0])["CNT"] != "Narnia"
@@ -258,6 +327,57 @@ class TestMonitoredDeltaSync:
             monitor.repair_affected([relation.tids()[0]])
         # the safety net fired before any change was applied
         assert dict(relation.rows()) == before
+
+
+class TestFileBackedRecoveryUnderMonitor:
+    """Satellite: reopen a file-backed store, attach a monitor, apply
+    deltas, and assert parity with a fresh load of the same data."""
+
+    @pytest.mark.parametrize("mode", ["native", "sql_delta"])
+    def test_reopened_catalog_accepts_monitored_deltas(self, tmp_path, mode):
+        path = tmp_path / "recover.db"
+        original = generate_customers(50, seed=83)
+        # session 1: load the store, then disconnect
+        with SqliteBackend(path=str(path)) as backend:
+            backend.add_relation(original.copy())
+        # session 2: reopen — the catalog (schema + tid counter) is rebuilt
+        # from the file — and monitor the recovered relation
+        with SqliteBackend(path=str(path)) as reopened:
+            assert reopened.relation_names() == ["customer"]
+            database = Database()
+            database.add_relation(reopened.to_relation("customer").copy())
+            monitor = DataMonitor(
+                database, "customer", paper_cfds(), backend=reopened, mode=mode
+            )
+            relation = database.relation("customer")
+            template = relation.get(relation.tids()[0])
+            monitor.apply_batch(
+                [
+                    Update.insert(dict(template, STR="A Brand New Street")),
+                    Update.modify(relation.tids()[1], {"CNT": "Narnia"}),
+                    Update.delete(relation.tids()[2]),
+                ]
+            )
+            # the recovered tid counter kept the new insert off live tids
+            assert max(dict(reopened.iter_rows("customer"))) == len(original)
+            # the deltas landed in the recovered store, row for row
+            assert dict(reopened.iter_rows("customer")) == dict(relation.rows())
+            monitored_report = monitor.current_report()
+            expected_rows = dict(relation.rows())
+            monitor.close()
+        # parity with a fresh bulk load of the same (updated) data
+        with SqliteBackend() as fresh:
+            fresh.add_relation(
+                Relation.from_tid_rows(relation.schema, expected_rows.items())
+            )
+            oracle = ErrorDetector(fresh).detect("customer", paper_cfds())
+        assert monitored_report.vio() == oracle.vio()
+        assert monitored_report.dirty_tids() == oracle.dirty_tids()
+        assert monitored_report.total_violations() > 0
+        # session 3: the deltas were durably committed — a reopen still
+        # matches the working store
+        with SqliteBackend(path=str(path)) as again:
+            assert dict(again.iter_rows("customer")) == expected_rows
 
 
 class TestFileBackedCleanRoundTrip:

@@ -1,9 +1,15 @@
-"""Three-way detection parity and the SQLite end-to-end workflow.
+"""Multi-path detection parity and the SQLite end-to-end workflow.
 
 The acceptance bar of the backend subsystem: the native detector, the
-SQL-based detector on the embedded engine, and the SQL-based detector on
-SQLite must produce identical violation reports on the dirty-customer
-workload — the same ``vio()`` maps and the same dirty tids.
+SQL-based detector on the embedded engine, the SQL-based detector on
+SQLite, and both incremental modes (``native`` Python state and the
+backend-resident ``sql_delta`` re-checks) must produce identical violation
+reports on the dirty-customer workload — the same ``vio()`` maps and the
+same dirty tids.
+
+Run with ``SEMANDAQ_SQLITE_MODE=file`` to exercise every SQLite backend in
+this suite against a tmp-path database file instead of ``:memory:`` (see
+``conftest.py``); CI does both.
 """
 
 import pytest
@@ -36,13 +42,15 @@ def cfds():
 
 
 class TestThreeWayParity:
-    def test_native_memory_sql_and_sqlite_sql_agree(self, dirty_customers, cfds):
+    def test_native_memory_sql_and_sqlite_sql_agree(
+        self, dirty_customers, cfds, sqlite_backend_factory
+    ):
         database = Database()
         database.add_relation(dirty_customers.copy())
         native = ErrorDetector(database, use_sql=False).detect("customer", cfds)
         memory_sql = ErrorDetector(database, use_sql=True).detect("customer", cfds)
 
-        sqlite_backend = SqliteBackend()
+        sqlite_backend = sqlite_backend_factory()
         sqlite_backend.add_relation(dirty_customers.copy())
         sqlite_sql = ErrorDetector(sqlite_backend, use_sql=True).detect(
             "customer", cfds
@@ -64,8 +72,10 @@ class TestThreeWayParity:
         from_backend = ErrorDetector(MemoryBackend(database)).detect("customer", cfds)
         assert from_db.vio() == from_backend.vio()
 
-    def test_sqlite_detection_uses_its_dialect(self, dirty_customers, cfds):
-        backend = SqliteBackend()
+    def test_sqlite_detection_uses_its_dialect(
+        self, dirty_customers, cfds, sqlite_backend_factory
+    ):
+        backend = sqlite_backend_factory()
         backend.add_relation(dirty_customers.copy())
         detector = ErrorDetector(backend)
         detector.detect("customer", cfds)
@@ -97,8 +107,10 @@ class TestThreeWayParity:
         assert reports["memory"].vio() == reports["sqlite"].vio()
         assert reports["sqlite"].total_violations() == 1
 
-    def test_lhs_indexes_created_on_sqlite(self, dirty_customers, cfds):
-        backend = SqliteBackend()
+    def test_lhs_indexes_created_on_sqlite(
+        self, dirty_customers, cfds, sqlite_backend_factory
+    ):
+        backend = sqlite_backend_factory()
         backend.add_relation(dirty_customers.copy())
         ErrorDetector(backend).detect("customer", cfds)
         names = {
@@ -111,24 +123,31 @@ class TestThreeWayParity:
         assert any(name.startswith("idx_customer_") for name in names)
 
 
-def _four_way_reports(relation, cfds):
-    """Reports from every detection path: native, both SQL backends, incremental."""
+def _all_path_reports(relation, cfds, make_sqlite_backend):
+    """Reports from every detection path: native, both SQL backends, and
+    both incremental evaluation modes."""
     database = Database()
     database.add_relation(relation.copy())
     native = ErrorDetector(database, use_sql=False).detect(relation.name, cfds)
     memory_sql = ErrorDetector(database, use_sql=True).detect(relation.name, cfds)
-    sqlite_backend = SqliteBackend()
+    sqlite_backend = make_sqlite_backend()
     sqlite_backend.add_relation(relation.copy())
     sqlite_sql = ErrorDetector(sqlite_backend, use_sql=True).detect(
         relation.name, cfds
     )
-    sqlite_backend.close()
     incremental = IncrementalDetector(database, relation.name, cfds).report()
+    sql_delta_detector = IncrementalDetector(
+        database, relation.name, cfds, mirror=sqlite_backend, mode="sql_delta"
+    )
+    sql_delta = sql_delta_detector.report()
+    sql_delta_detector.close()
+    sqlite_backend.close()
     return {
         "native": native,
         "memory_sql": memory_sql,
         "sqlite_sql": sqlite_sql,
         "incremental": incremental,
+        "sql_delta": sql_delta,
     }
 
 
@@ -151,7 +170,7 @@ class TestOverlappingPatternParity:
     """Tableaux whose pattern tuples overlap: every path must report each
     violating LHS group exactly once, under its lowest violating pattern."""
 
-    def test_overlapping_wildcard_rhs_patterns(self):
+    def test_overlapping_wildcard_rhs_patterns(self, sqlite_backend_factory):
         schema = RelationSchema.of("r", ["A", "B", "C"])
         relation = Relation.from_rows(
             schema,
@@ -174,11 +193,15 @@ class TestOverlappingPatternParity:
             ),
             name="phi_overlap",
         )
-        reports = _four_way_reports(relation, [cfd])
+        reports = _all_path_reports(relation, [cfd], sqlite_backend_factory)
         keys = {name: _violation_keys(report) for name, report in reports.items()}
-        assert keys["native"] == keys["memory_sql"] == keys["sqlite_sql"] == keys[
-            "incremental"
-        ]
+        assert (
+            keys["native"]
+            == keys["memory_sql"]
+            == keys["sqlite_sql"]
+            == keys["incremental"]
+            == keys["sql_delta"]
+        )
         by_group = {
             violation.lhs_values: violation.pattern_index
             for violation in reports["sqlite_sql"].violations
@@ -186,7 +209,7 @@ class TestOverlappingPatternParity:
         # each group once, under the lowest pattern that covers it
         assert by_group == {("x", "1"): 0, ("y", "1"): 1}
 
-    def test_overlapping_constant_rhs_patterns(self):
+    def test_overlapping_constant_rhs_patterns(self, sqlite_backend_factory):
         schema = RelationSchema.of("r", ["A", "C"])
         relation = Relation.from_rows(
             schema,
@@ -206,18 +229,22 @@ class TestOverlappingPatternParity:
             ),
             name="phi_const_overlap",
         )
-        reports = _four_way_reports(relation, [cfd])
+        reports = _all_path_reports(relation, [cfd], sqlite_backend_factory)
         keys = {name: _violation_keys(report) for name, report in reports.items()}
-        assert keys["native"] == keys["memory_sql"] == keys["sqlite_sql"] == keys[
-            "incremental"
-        ]
+        assert (
+            keys["native"]
+            == keys["memory_sql"]
+            == keys["sqlite_sql"]
+            == keys["incremental"]
+            == keys["sql_delta"]
+        )
         by_tid = {
             violation.tids[0]: violation.pattern_index
             for violation in reports["sqlite_sql"].violations
         }
         assert by_tid == {0: 0, 1: 0}
 
-    def test_merged_cfd_with_two_wildcard_rhs_attributes(self):
+    def test_merged_cfd_with_two_wildcard_rhs_attributes(self, sqlite_backend_factory):
         # The disagreement lives on the SECOND wildcard RHS attribute; a Q_V
         # covering only the first would silently miss it.
         schema = RelationSchema.of("r", ["A", "B", "C"])
@@ -237,11 +264,15 @@ class TestOverlappingPatternParity:
             patterns=(PatternTuple.of({"A": "_", "B": "_", "C": "_"}),),
             name="phi_two_rhs",
         )
-        reports = _four_way_reports(relation, [cfd])
+        reports = _all_path_reports(relation, [cfd], sqlite_backend_factory)
         keys = {name: _violation_keys(report) for name, report in reports.items()}
-        assert keys["native"] == keys["memory_sql"] == keys["sqlite_sql"] == keys[
-            "incremental"
-        ]
+        assert (
+            keys["native"]
+            == keys["memory_sql"]
+            == keys["sqlite_sql"]
+            == keys["incremental"]
+            == keys["sql_delta"]
+        )
         by_rhs = {
             violation.rhs_attribute: violation.tids
             for violation in reports["sqlite_sql"].violations
@@ -250,9 +281,11 @@ class TestOverlappingPatternParity:
 
 
 class TestSqliteEndToEnd:
-    def test_full_workflow_on_sqlite_backend(self, dirty_customers, cfds):
+    def test_full_workflow_on_sqlite_backend(
+        self, dirty_customers, cfds, sqlite_config
+    ):
         csv_text = dump_csv(dirty_customers)
-        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        system = Semandaq(config=sqlite_config())
         assert isinstance(system.backend, SqliteBackend)
 
         system.load_csv(csv_text, "customer")
@@ -276,24 +309,31 @@ class TestSqliteEndToEnd:
         # the repaired relation was synced back into the backend
         assert system.backend.row_count("customer") == len(dirty_customers)
 
-    def test_sqlite_system_matches_memory_system(self, dirty_customers, cfds):
+    def test_sqlite_system_matches_memory_system(
+        self, dirty_customers, cfds, sqlite_config
+    ):
         csv_text = dump_csv(dirty_customers)
         reports = {}
         for backend_name in ("memory", "sqlite"):
-            system = Semandaq(config=SemandaqConfig(backend=backend_name))
+            config = (
+                sqlite_config()
+                if backend_name == "sqlite"
+                else SemandaqConfig(backend="memory")
+            )
+            system = Semandaq(config=config)
             system.load_csv(csv_text, "customer")
             system.add_cfds(cfds)
             reports[backend_name] = system.detect("customer")
         assert reports["memory"].vio() == reports["sqlite"].vio()
         assert reports["memory"].dirty_tids() == reports["sqlite"].dirty_tids()
 
-    def test_monitor_updates_visible_after_resync(self, cfds):
+    def test_monitor_updates_visible_after_resync(self, cfds, sqlite_config):
         # once a monitor exists, detect() re-syncs the working copy, so
         # updates applied through it are seen by the pushed-down queries.
         from repro.monitor.updates import Update
 
         clean = generate_customers(60, seed=23)
-        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        system = Semandaq(config=sqlite_config())
         system.register_relation(clean.copy())
         system.add_cfds(cfds)
         assert system.detect("customer").total_violations() == 0
@@ -301,11 +341,11 @@ class TestSqliteEndToEnd:
         system.monitor("customer").apply(Update.modify(tid, {"CNT": "Narnia"}))
         assert system.detect("customer").total_violations() > 0
 
-    def test_repeat_detect_skips_bulk_resync(self, cfds):
+    def test_repeat_detect_skips_bulk_resync(self, cfds, sqlite_config):
         # static data + no monitor: the second detect must not rebuild the
         # backend table (the sync happens at load time and is then cached).
         clean = generate_customers(60, seed=31)
-        system = Semandaq(config=SemandaqConfig(backend="sqlite"))
+        system = Semandaq(config=sqlite_config())
         system.register_relation(clean.copy())
         system.add_cfds(cfds)
         system.detect("customer")

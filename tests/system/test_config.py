@@ -36,6 +36,14 @@ class TestSemandaqConfig:
         with pytest.raises(ConfigurationError):
             SemandaqConfig(backend="oracle").validate()
 
+    def test_invalid_incremental_mode(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(incremental_mode="psychic").validate()
+
+    def test_incremental_modes_are_valid(self):
+        SemandaqConfig(incremental_mode="native").validate()
+        SemandaqConfig(incremental_mode="sql_delta").validate()
+
     def test_builtin_backends_are_valid(self):
         SemandaqConfig(backend="memory").validate()
         SemandaqConfig(backend="sqlite").validate()

@@ -120,6 +120,52 @@ class TestMonitoring:
         system.monitor("customer", cleansed=False)
         assert monitor.summary()["mode"] == "detect"
 
+    def test_apply_updates_facade_batch(self, system):
+        relation = system.database.relation("customer")
+        before = len(relation)
+        template = dict(relation.get(relation.tids()[0]))
+        tids = system.apply_updates(
+            "customer",
+            [
+                Update.insert(dict(template, STR="A Brand New Street")),
+                Update.delete(relation.tids()[1]),
+            ],
+        )
+        assert len(tids) == 2 and tids[0] is not None
+        assert len(relation) == before  # one in, one out
+        assert len(system.monitor("customer").log) == 2
+
+    @pytest.mark.parametrize("backend_name", ["memory", "sqlite"])
+    def test_sql_delta_system_matches_native_system(
+        self, backend_name, customer_cfds
+    ):
+        reports = {}
+        for incremental_mode in ("native", "sql_delta"):
+            config = SemandaqConfig(
+                backend=backend_name, incremental_mode=incremental_mode
+            )
+            with Semandaq(config=config) as semandaq:
+                semandaq.register_relation(generate_customers(50, seed=87).copy())
+                semandaq.add_cfds(customer_cfds)
+                relation = semandaq.database.relation("customer")
+                template = dict(relation.get(relation.tids()[0]))
+                monitor = semandaq.monitor("customer")
+                assert monitor.summary()["incremental_mode"] == incremental_mode
+                semandaq.apply_updates(
+                    "customer",
+                    [
+                        Update.insert(dict(template, STR="A Brand New Street")),
+                        Update.modify(relation.tids()[1], {"CNT": "Narnia"}),
+                        Update.delete(relation.tids()[2]),
+                    ],
+                )
+                reports[incremental_mode] = monitor.current_report()
+                if incremental_mode == "sql_delta":
+                    assert monitor.summary()["delta_queries"] > 0
+        assert reports["native"].vio() == reports["sql_delta"].vio()
+        assert reports["native"].dirty_tids() == reports["sql_delta"].dirty_tids()
+        assert reports["sql_delta"].total_violations() > 0
+
 
 class TestEndToEndOnGeneratedData:
     def test_full_workflow_reduces_dirtiness(self):
