@@ -1,0 +1,174 @@
+"""SQL-DELTA-PLANS — row-value semi-joins vs chunked OR re-checks.
+
+The ``sql_delta`` incremental mode restricts its delta ``Q_V`` (and the
+backend-resident group-member enumeration) to the affected LHS-value
+groups.  Two restriction shapes exist for a multi-attribute LHS on SQLite:
+
+* **``row_values``** — ``(t.A, t.B) IN (VALUES (?, ?), ...)`` (SQLite
+  3.15+): one flat expression the engine can drive through the CFD-LHS
+  index as a semi-join, chunked only by the connection's bound-parameter
+  budget;
+* **``portable``** — the OR-of-conjunctions form every dialect parses,
+  chunked at the expression-depth cap (200 disjuncts), so a large re-check
+  decomposes into many statements.
+
+This benchmark updates one member of *every* group per round — the whole
+group population is affected — at 50/500/5000 groups, and times the
+monitored round (batch ship + delta re-check + report).  The gap grows
+with the affected-group count: the row-value plan keeps one statement per
+parameter-budget chunk while the portable plan pays per-200-group
+statements plus their repeated scans.
+
+``test_plans_agree_with_native`` is the guard-rail: both plans must report
+exactly what the native evaluation mode reports, at every configured size.
+
+Set ``BENCH_SMOKE=1`` to run the smallest size only (the CI smoke mode).
+"""
+
+import os
+import time
+
+import pytest
+
+from bench_utils import report_series
+from repro.backends import SqliteBackend
+from repro.backends.dialect import sqlite_row_values_supported
+from repro.core.cfd import CFD
+from repro.core.pattern import PatternTuple
+from repro.detection.incremental import (
+    NATIVE_MODE,
+    SQL_DELTA_MODE,
+    IncrementalDetector,
+)
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.engine.types import RelationSchema
+
+GROUPS = [50] if os.environ.get("BENCH_SMOKE") else [50, 500, 5000]
+
+#: plan name -> the generator policy that produces it
+PLANS = {"row_values": "auto", "portable": "portable"}
+
+_ROW_VALUE_SKIP = "sqlite3 library predates 3.15 (no row values) or forced off"
+
+SCHEMA = RelationSchema.of("r", ["A", "B", "C"])
+
+CFD_TWO_LHS = CFD(
+    relation="r",
+    lhs=("A", "B"),
+    rhs=("C",),
+    patterns=(PatternTuple.of({"A": "_", "B": "_", "C": "_"}),),
+    name="phi_plans",
+)
+
+
+def _relation(groups: int) -> Relation:
+    """``groups`` two-member LHS groups, initially agreeing on the RHS."""
+    rows = []
+    for index in range(groups):
+        rows.append({"A": f"a{index}", "B": f"b{index % 97}", "C": "same"})
+        rows.append({"A": f"a{index}", "B": f"b{index % 97}", "C": "same"})
+    return Relation.from_rows(SCHEMA, rows)
+
+
+def _detector(groups: int, mode: str, plan: str = "auto"):
+    database = Database()
+    database.add_relation(_relation(groups))
+    if mode == NATIVE_MODE:
+        return IncrementalDetector(database, "r", [CFD_TWO_LHS]), None
+    mirror = SqliteBackend()
+    mirror.add_relation(database.relation("r"))
+    detector = IncrementalDetector(
+        database, "r", [CFD_TWO_LHS], mirror=mirror,
+        mode=SQL_DELTA_MODE, delta_plan=plan,
+    )
+    return detector, mirror
+
+
+def _round(detector, groups: int, toggle) -> int:
+    """Update one member of every group, re-check, and report."""
+    suffix = "x" if toggle[0] else "y"
+    toggle[0] = not toggle[0]
+    with detector.batch():
+        for tid in range(0, 2 * groups, 2):
+            detector.update(tid, {"C": f"diff_{suffix}"})
+    return detector.report().total_violations()
+
+
+def _skip_unsupported(plan: str) -> None:
+    if plan == "row_values" and not sqlite_row_values_supported():
+        pytest.skip(_ROW_VALUE_SKIP)
+
+
+@pytest.mark.parametrize("groups", GROUPS)
+@pytest.mark.parametrize("plan", list(PLANS))
+def test_recheck_round_latency(benchmark, plan, groups):
+    """Wall time of one all-groups-affected monitored round per plan."""
+    _skip_unsupported(plan)
+    detector, mirror = _detector(groups, SQL_DELTA_MODE, PLANS[plan])
+    toggle = [True]
+
+    result = benchmark(_round, detector, groups, toggle)
+    assert result == groups  # every group violates after the round
+    benchmark.extra_info["plan"] = plan
+    benchmark.extra_info["groups"] = groups
+    benchmark.extra_info["delta_queries"] = detector.delta_queries
+    if mirror is not None:
+        mirror.close()
+
+
+def _best_of(runs, fn, *args):
+    best = float("inf")
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_plans_agree_with_native():
+    """Guard-rail: both plan shapes report exactly what native mode does."""
+    rows = []
+    for groups in GROUPS:
+        reports = {}
+        costs = {}
+        for plan in PLANS:
+            if plan == "row_values" and not sqlite_row_values_supported():
+                continue
+            detector, mirror = _detector(groups, SQL_DELTA_MODE, PLANS[plan])
+            toggle = [True]
+            _round(detector, groups, toggle)
+            detector.reset_cost_counter()
+            elapsed = _best_of(3, _round, detector, groups, toggle)
+            reports[plan] = sorted(
+                (v.kind, v.tids, v.lhs_values, v.pattern_index)
+                for v in detector.report().violations
+            )
+            costs[plan] = {
+                "round_ms": round(elapsed * 1e3, 2),
+                "delta_queries_per_round": detector.delta_queries // 3,
+            }
+            mirror.close()
+        native, _ = _detector(groups, NATIVE_MODE)
+        toggle = [True]
+        _round(native, groups, toggle)
+        _round(native, groups, toggle)
+        _round(native, groups, toggle)
+        _round(native, groups, toggle)
+        native_keys = sorted(
+            (v.kind, v.tids, v.lhs_values, v.pattern_index)
+            for v in native.report().violations
+        )
+        for plan, keys in reports.items():
+            assert keys == native_keys, f"{plan} diverged at {groups} groups"
+        rows.append(
+            {
+                "groups": groups,
+                **{
+                    f"{plan}_{metric}": value
+                    for plan, plan_costs in costs.items()
+                    for metric, value in plan_costs.items()
+                },
+            }
+        )
+    report_series("SQL-DELTA-PLANS", rows)

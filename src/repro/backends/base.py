@@ -137,7 +137,12 @@ class StorageBackend(abc.ABC):
         backends with a cheaper grouped path (a single transaction, one
         ``executemany`` per operation kind) override it.  Backends that can
         roll back must apply the batch atomically: on failure, none of it.
+        A batch that coalesced to *nothing* (e.g. an insert and a delete of
+        the same tid) must be a no-op — in particular, no write transaction
+        may be opened for it.
         """
+        if batch.is_empty():
+            return
         for tid in batch.deletes:
             self.delete_row(name, tid)
         for tid, row in batch.inserts:

@@ -83,6 +83,8 @@ class MemoryBackend(StorageBackend):
         # Applied directly against the engine relation: one attribute-lookup
         # round per op, no per-op dispatch through the public delta methods.
         relation = self.database.relation(name)
+        if batch.is_empty():
+            return
         for tid in batch.deletes:
             relation.delete(tid)
         for tid, row in batch.inserts:

@@ -36,7 +36,7 @@ from ..engine.relation import Relation
 from ..engine.types import AttributeDef, DataType, RelationSchema
 from .base import StorageBackend
 from .delta import DeltaBatch
-from .dialect import SQLITE_DIALECT
+from .dialect import SQLITE_DIALECT, SQLITE_PARAMETER_FLOOR, SqliteDialect
 
 #: SQLite column affinity per engine data type
 _SQL_TYPES = {
@@ -75,15 +75,34 @@ class SqliteBackend(StorageBackend):
     """Storage backend over a (file- or memory-backed) SQLite database."""
 
     name = "sqlite"
+    #: class-level default (the conservative 999-parameter floor); every
+    #: instance replaces it with a per-connection dialect carrying the
+    #: connection's real bound-parameter limit
     dialect = SQLITE_DIALECT
 
-    def __init__(self, path: str = ":memory:", synchronous: str = "NORMAL"):
+    def __init__(
+        self,
+        path: str = ":memory:",
+        synchronous: str = "NORMAL",
+        max_parameters: Optional[int] = None,
+        row_values: Optional[bool] = None,
+    ):
         self.path = str(path)
         self._conn = sqlite3.connect(self.path)
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute(f"PRAGMA synchronous={synchronous}")
         self._conn.execute("PRAGMA temp_store=MEMORY")
+        # The delta query compiler chunks its statements by this dialect's
+        # parameter budget, so read the connection's real limit where the
+        # stdlib exposes it (Python 3.11+); older builds keep the portable
+        # 999 floor.  ``max_parameters``/``row_values`` override the probe —
+        # e.g. to force the portable chunking against a capped server.
+        if max_parameters is None:
+            max_parameters = self._probe_parameter_limit()
+        self.dialect = SqliteDialect(
+            max_parameters=max_parameters, supports_row_values=row_values
+        )
         # The dialect renders FLOAT columns with pystr(...) so the string
         # encoding matches Python's str() exactly (CAST AS TEXT disagrees on
         # exponent-form floats: '1.0e+16' vs '1e+16'), keeping detection
@@ -92,6 +111,22 @@ class SqliteBackend(StorageBackend):
         self._schemas: Dict[str, RelationSchema] = {}
         self._next_tid: Dict[str, int] = {}
         self._load_catalog()
+
+    def _probe_parameter_limit(self) -> int:
+        """The connection's ``SQLITE_LIMIT_VARIABLE_NUMBER``.
+
+        Falls back to the portable 999 floor when the stdlib predates the
+        ``getlimit`` API (Python < 3.11), where the actual compile-time
+        limit cannot be read.
+        """
+        if hasattr(self._conn, "getlimit"):  # Python 3.11+
+            try:
+                limit = self._conn.getlimit(sqlite3.SQLITE_LIMIT_VARIABLE_NUMBER)
+                if limit > 0:
+                    return limit
+            except sqlite3.Error:  # pragma: no cover - probe never fails in CI
+                pass
+        return SQLITE_PARAMETER_FLOOR
 
     def _load_catalog(self) -> None:
         """Rebuild the catalog from an existing database file.
@@ -294,6 +329,8 @@ class SqliteBackend(StorageBackend):
         """
         schema = self._require(name)
         if batch.is_empty():
+            # An empty (fully coalesced-away) batch must not touch the
+            # connection at all: no statements, no transaction, no commit.
             return
         deletes = batch.deletes
         inserts = batch.inserts

@@ -19,7 +19,16 @@ affected-group re-checks:
   and LHS-value groups travel as ``?`` parameters, so the DBMS re-evaluates
   exactly the affected sub-instance (the FDB-style restriction that buys
   the incremental win).  The per-CFD pattern tableaux are materialised in
-  the backend once, at construction.
+  the backend once, at construction.  The mode is *fully backend-resident*:
+  the delta ``Q_C`` carries each violating tuple's LHS values, group
+  members are enumerated by a tableau-joined query
+  (:meth:`~repro.detection.sqlgen.DetectionSqlGenerator.group_members_query_delta`),
+  and :meth:`IncrementalDetector.report` assembles the violation report
+  from backend rows alone — zero reads against the in-memory working
+  store.  The restriction shape and the chunking of large re-checks are
+  dialect-branched (row-value semi-joins and a per-statement parameter
+  budget on SQLite, portable OR chains on the embedded engine); see
+  :mod:`repro.detection.sqlgen`.
 
 Updates flow through a first-class :class:`~repro.backends.delta.DeltaBatch`:
 single operations ship as singleton batches, and the :meth:`batch` context
@@ -47,9 +56,10 @@ from ..core.cfd import CFD
 from ..core.tableau import tableau_to_relation
 from ..engine.database import Database
 from ..engine.relation import Relation
+from ..engine.types import DataType
 from ..errors import DetectionError
-from .detector import _sub_cfd, group_member_tids
-from .sqlgen import DetectionSqlGenerator
+from .detector import _sub_cfd
+from .sqlgen import LHS_COLUMN_PREFIX, DetectionSqlGenerator
 from .violations import MULTI, SINGLE, Violation, ViolationReport
 
 #: evaluation mode maintaining group state in Python (the original path)
@@ -65,17 +75,6 @@ INCREMENTAL_MODES = (NATIVE_MODE, SQL_DELTA_MODE)
 #: clobber or drop each other's tableaux
 _DETECTOR_SEQUENCE = count()
 
-#: affected tids/groups re-checked per delta query.  The delta predicates
-#: are OR-chains (one disjunct per tid/group — the form both dialects
-#: parse), and SQLite caps expression-tree depth at 1000, so large update
-#: batches are re-checked in chunks of this size.
-_RECHECK_CHUNK = 200
-
-
-def _chunks(values: List[Any], size: int) -> Iterator[List[Any]]:
-    for start in range(0, len(values), size):
-        yield values[start : start + size]
-
 
 @dataclass
 class _WorkUnit:
@@ -85,6 +84,9 @@ class _WorkUnit:
     cfd: CFD  # single-RHS restriction of the parent
     #: tid -> pattern index of the first constant-RHS pattern it violates
     singles: Dict[int, int] = field(default_factory=dict)
+    #: sql_delta mode: tid -> its LHS values (decoded engine values), so
+    #: report assembly never reads the working store
+    single_lhs: Dict[int, Tuple[Any, ...]] = field(default_factory=dict)
     #: native mode: pattern index -> lhs values -> {tid: rhs value}
     groups: Dict[int, Dict[Tuple[Any, ...], Dict[int, Any]]] = field(
         default_factory=lambda: defaultdict(dict)
@@ -132,6 +134,7 @@ class IncrementalDetector:
         cfds: Sequence[CFD],
         mirror: Optional[StorageBackend] = None,
         mode: str = NATIVE_MODE,
+        delta_plan: str = "auto",
     ):
         if mode not in INCREMENTAL_MODES:
             raise DetectionError(
@@ -168,6 +171,10 @@ class IncrementalDetector:
             cfd.validate_against(self.relation.attribute_names)
             for rhs_attribute in cfd.rhs:
                 self._units.append(_WorkUnit(parent=cfd, cfd=_sub_cfd(cfd, rhs_attribute)))
+        #: sql_delta mode: row count of the backend-resident copy, kept
+        #: current by the update API so report assembly needs no round trip
+        #: (and keeps working after the owner closed the backend)
+        self._resident_rows = 0
         #: open explicit batch (None outside a ``batch()`` block)
         self._pending: Optional[DeltaBatch] = None
         self._pending_touched: List[_Touched] = []
@@ -188,7 +195,9 @@ class IncrementalDetector:
                 shadow.add_relation(self.relation)
                 self._query_backend = MemoryBackend(shadow)
             self._generator: Optional[DetectionSqlGenerator] = DetectionSqlGenerator(
-                self.relation.schema, dialect=self._query_backend.dialect
+                self.relation.schema,
+                dialect=self._query_backend.dialect,
+                delta_plan=delta_plan,
             )
             self._materialise_tableaux()
             self._initialise_sql()
@@ -207,6 +216,7 @@ class IncrementalDetector:
         """Recompute the native Python state from the working store."""
         for unit in self._units:
             unit.singles.clear()
+            unit.single_lhs.clear()
             unit.groups = defaultdict(dict)
             unit.multi.clear()
         self._initialise()
@@ -277,17 +287,23 @@ class IncrementalDetector:
 
         This is the one whole-relation evaluation the sql_delta mode ever
         runs; every later update re-checks only the affected sub-instance.
+        The full ``Q_C`` is generated with the ``lhs_*`` carry columns so
+        even the initial singles never need a working-store read.
         """
+        self._resident_rows = self._query_backend.row_count(self.relation_name)
         for unit in self._units:
             unit.singles.clear()
+            unit.single_lhs.clear()
             unit.multi.clear()
-            queries = self._generator.generate(unit.cfd, unit.tableau_name)
-            if queries.single_sql is not None:
-                rows = self._execute_delta(
-                    queries.single_sql.sql, queries.single_sql.parameters
-                )
+            single = self._generator.single_tuple_query(
+                unit.cfd, unit.tableau_name, include_lhs=True
+            )
+            if single is not None:
+                rows = self._execute_delta(single.sql, single.parameters)
                 self._absorb_single_rows(unit, rows)
-            for query in queries.multi_sqls:
+            for query in self._generator.multi_tuple_queries(
+                unit.cfd, unit.tableau_name
+            ):
                 rows = self._execute_delta(query.sql, query.parameters)
                 self._absorb_multi_rows(unit, rows)
 
@@ -295,13 +311,36 @@ class IncrementalDetector:
         self.delta_queries += 1
         return self._query_backend.execute(sql, parameters)
 
+    def _decode_value(self, attribute: str, value: Any) -> Any:
+        """Decode one backend-stored value into its engine representation.
+
+        SQLite hands back stored representations (0/1 for booleans); the
+        working store holds engine values — hash-equal, but reports must
+        show the latter.  Every other type round-trips unchanged, so this
+        is an identity on the memory backend.
+        """
+        if value is None:
+            return None
+        if self.relation.schema.attribute(attribute).dtype is DataType.BOOLEAN:
+            return bool(value)
+        return value
+
     def _absorb_single_rows(self, unit: _WorkUnit, rows: List[Dict[str, Any]]) -> None:
-        """Fold ``Q_C`` result rows into ``unit.singles`` (lowest pattern wins)."""
+        """Fold ``Q_C`` result rows into ``unit.singles`` (lowest pattern wins).
+
+        The rows carry the tuple's LHS values (``lhs_*`` columns), which
+        are decoded and kept so :meth:`report` assembles single-tuple
+        violations from backend rows alone.
+        """
         for row in rows:
             tid = row["tid"]
             pattern_index = int(row.get("pattern_id", 0))
             if tid not in unit.singles or pattern_index < unit.singles[tid]:
                 unit.singles[tid] = pattern_index
+                unit.single_lhs[tid] = tuple(
+                    self._decode_value(attr, row.get(LHS_COLUMN_PREFIX + attr))
+                    for attr in unit.cfd.lhs
+                )
 
     def _absorb_multi_rows(self, unit: _WorkUnit, rows: List[Dict[str, Any]]) -> None:
         """Fold ``Q_V`` result rows into ``unit.multi``.
@@ -310,6 +349,8 @@ class IncrementalDetector:
         covered by several overlapping patterns comes back once per
         matching pattern; each group is kept once, under its lowest
         violating pattern index — the rule every detection path follows.
+        Group membership is enumerated by the tableau-joined members query
+        against the backend copy (the working store is never consulted).
         """
         cfd = unit.cfd
         grouped: Dict[Tuple[Any, ...], int] = {}
@@ -318,38 +359,55 @@ class IncrementalDetector:
             pattern_index = int(row.get("pattern_id", 0))
             if lhs_values not in grouped or pattern_index < grouped[lhs_values]:
                 grouped[lhs_values] = pattern_index
-        for lhs_values, pattern_index in grouped.items():
-            pattern = cfd.patterns[pattern_index]
-            tids = group_member_tids(
-                self.relation, cfd, pattern, lhs_values, unit.rhs_attribute
+        if not grouped:
+            return
+        by_pattern: Dict[int, List[Tuple[Any, ...]]] = {}
+        for key, pattern_index in grouped.items():
+            by_pattern.setdefault(pattern_index, []).append(key)
+        # Member tids per (pattern, group key), keyed by the *backend's*
+        # value representation so the Q_V keys and the members keys hash
+        # identically (both come from the same backend).
+        members: Dict[Tuple[int, Tuple[Any, ...]], List[int]] = {}
+        for pattern_index, keys in by_pattern.items():
+            plans = self._generator.delta_plans_members(
+                cfd, unit.tableau_name, unit.rhs_attribute, pattern_index, keys
             )
+            for plan in plans:
+                for row in self._execute_delta(plan.sql, plan.parameters):
+                    key = tuple(
+                        row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs
+                    )
+                    members.setdefault((pattern_index, key), []).append(row["tid"])
+        for key, pattern_index in grouped.items():
+            tids = members.get((pattern_index, key), [])
             if len(tids) < 2:
                 continue
-            # Canonicalise through a member row: SQLite hands back stored
-            # representations (0/1 for booleans), the working store holds
-            # engine values — hash-equal, but reports must show the latter.
-            member_row = self.relation.get(tids[0])
-            key = tuple(member_row.get(attr) for attr in cfd.lhs)
-            unit.multi[key] = (pattern_index, tuple(tids))
+            decoded = tuple(
+                self._decode_value(attr, value)
+                for attr, value in zip(cfd.lhs, key)
+            )
+            unit.multi[decoded] = (pattern_index, tuple(sorted(tids)))
 
     # -- delta re-checks (sql_delta mode) ---------------------------------------------
 
     def _recheck_affected(self, touched: Sequence[_Touched]) -> None:
-        """Re-evaluate the affected sub-instance against the backend copy."""
+        """Re-evaluate the affected sub-instance against the backend copy.
+
+        The re-check statements are budget-chunked by the generator: the
+        dialect's per-statement parameter budget bounds how many affected
+        tids/groups each statement binds, however wide the CFD's LHS is.
+        """
         touched_tids = list(dict.fromkeys(entry.tid for entry in touched))
         for unit in self._units:
             for tid in touched_tids:
                 unit.singles.pop(tid, None)
-            for tid_chunk in _chunks(touched_tids, _RECHECK_CHUNK):
-                query = self._generator.single_tuple_query_delta(
-                    unit.cfd, unit.tableau_name, len(tid_chunk)
+                unit.single_lhs.pop(tid, None)
+            for plan in self._generator.delta_plans_single(
+                unit.cfd, unit.tableau_name, touched_tids
+            ):
+                self._absorb_single_rows(
+                    unit, self._execute_delta(plan.sql, plan.parameters)
                 )
-                if query is None:
-                    break  # no constant-RHS pattern: no Q_C for any chunk
-                rows = self._execute_delta(
-                    query.sql, tuple(query.parameters) + tuple(tid_chunk)
-                )
-                self._absorb_single_rows(unit, rows)
             if not unit.cfd.lhs or not unit.wildcard_rhs:
                 continue
             keys = self._affected_keys(unit, touched)
@@ -357,15 +415,11 @@ class IncrementalDetector:
                 continue
             for key in keys:
                 unit.multi.pop(key, None)
-            for key_chunk in _chunks(keys, _RECHECK_CHUNK):
-                query = self._generator.multi_tuple_query_delta(
-                    unit.cfd, unit.tableau_name, unit.rhs_attribute, len(key_chunk)
-                )
-                parameters = tuple(query.parameters) + tuple(
-                    value for key in key_chunk for value in key
-                )
+            for plan in self._generator.delta_plans_multi(
+                unit.cfd, unit.tableau_name, unit.rhs_attribute, keys
+            ):
                 self._absorb_multi_rows(
-                    unit, self._execute_delta(query.sql, parameters)
+                    unit, self._execute_delta(plan.sql, plan.parameters)
                 )
 
     def _affected_keys(
@@ -398,6 +452,8 @@ class IncrementalDetector:
         stored = self.relation.get(tid)
         if self.mode == NATIVE_MODE:
             self._add_tuple(tid, stored)
+        else:
+            self._resident_rows += 1
         # Record the coerced row under the same tid, keeping tuple ids
         # aligned between the working store and the backend copy.  The
         # delta ships last so a backend failure leaves relation and
@@ -415,6 +471,8 @@ class IncrementalDetector:
         self.relation.delete(tid)
         if self.mode == NATIVE_MODE:
             self._remove_tuple(tid, old_row)
+        else:
+            self._resident_rows -= 1
         self._record(
             _Touched(tid=tid, old_row=old_row, new_row=None),
             lambda batch: batch.record_delete(tid),
@@ -584,12 +642,24 @@ class IncrementalDetector:
     # -- report ------------------------------------------------------------------------
 
     def report(self) -> ViolationReport:
-        """Build the current :class:`ViolationReport` from the maintained state."""
+        """Build the current :class:`ViolationReport` from the maintained state.
+
+        In ``sql_delta`` mode the report is assembled entirely from state
+        computed off backend rows — the singles' LHS values were carried by
+        the delta ``Q_C``, group members came from the tableau-joined
+        members query, and the tuple count is the backend's — so the
+        in-memory working store is never read.
+        """
         self._ensure_native_state()
+        backend_resident = self.mode == SQL_DELTA_MODE
         violations: List[Violation] = []
         for unit in self._units:
             for tid, pattern_index in sorted(unit.singles.items()):
-                row = self.relation.get(tid)
+                if backend_resident:
+                    lhs_values = unit.single_lhs.get(tid, ())
+                else:
+                    row = self.relation.get(tid)
+                    lhs_values = tuple(row.get(attr) for attr in unit.cfd.lhs)
                 violations.append(
                     Violation(
                         cfd_id=unit.parent.identifier,
@@ -598,17 +668,17 @@ class IncrementalDetector:
                         rhs_attribute=unit.rhs_attribute,
                         pattern_index=pattern_index,
                         lhs_attributes=unit.cfd.lhs,
-                        lhs_values=tuple(row.get(attr) for attr in unit.cfd.lhs),
+                        lhs_values=lhs_values,
                     )
                 )
-            if self.mode == SQL_DELTA_MODE:
+            if backend_resident:
                 violations.extend(self._multi_violations_sql(unit))
             else:
                 violations.extend(self._multi_violations_native(unit))
         return ViolationReport(
             relation=self.relation_name,
             violations=violations,
-            tuple_count=len(self.relation),
+            tuple_count=self._resident_rows if backend_resident else len(self.relation),
             cfd_ids=tuple(cfd.identifier for cfd in self.cfds),
         )
 

@@ -25,23 +25,53 @@ On dialects that support query parameters, inline literal values (the
 wildcard token) travel out-of-band as ``?`` parameters — SQL strings never
 embed data values there.  The in-memory dialect keeps the legacy inline
 quoting (:func:`_quote`), which is the only remaining user of it.
+
+Delta variants of the queries (the ``delta_plans_*`` family) restrict
+re-evaluation to the tuples / LHS-value groups an update batch touched.
+The *shape* of that restriction is dialect-branched:
+
+* affected tids and single-attribute group keys always travel as a flat
+  ``IN (?, ?, ...)`` list (both engines parse it, and it is one expression
+  node regardless of length);
+* multi-attribute group keys use a row-value semi-join —
+  ``(t.X1, t.X2) IN (VALUES (?, ?), ...)`` — on dialects that support row
+  values (SQLite 3.15+), which lets the engine drive the probe through the
+  CFD-LHS index; other dialects (the embedded engine) keep the portable
+  OR-of-conjunctions form, rendered through the dialect's NULL-safe
+  equality so a bound NULL can never silently drop a disjunct.
+
+Chunking is driven by the dialect's *parameter budget*
+(:attr:`~repro.backends.dialect.SqlDialect.max_parameters`): each emitted
+statement binds at most that many values, however wide the CFD's LHS is.
+The portable OR form is additionally capped at
+:attr:`~repro.backends.dialect.SqlDialect.max_or_terms` disjuncts, because
+both engines bound their expression-tree depth.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..backends.dialect import MEMORY_DIALECT, SqlDialect
 from ..core.cfd import CFD
 from ..core.pattern import WILDCARD_TOKEN
 from ..core.tableau import PATTERN_ID_COLUMN
 from ..engine.types import DataType, RelationSchema
+from ..errors import DetectionError
 
 #: alias used for the data relation in generated queries
 DATA_ALIAS = "t"
 #: alias used for the tableau relation in generated queries
 TABLEAU_ALIAS = "tab"
+
+#: delta-plan policies: ``auto`` lets the dialect pick the restriction
+#: shape, ``portable`` forces the OR-of-conjunctions form everywhere
+DELTA_PLANS = ("auto", "portable")
+
+#: column-alias prefix for the LHS values a delta ``Q_C`` carries so the
+#: caller can assemble violation reports without touching the data store
+LHS_COLUMN_PREFIX = "lhs_"
 
 
 def _quote(value: str) -> str:
@@ -105,11 +135,26 @@ class DetectionSqlGenerator:
 
     ``dialect`` selects the SQL flavour; it defaults to the embedded
     engine's dialect so existing callers keep their behaviour.
+    ``delta_plan`` selects the affected-group restriction shape of the
+    delta queries: ``"auto"`` (default) branches on the dialect's
+    capabilities, ``"portable"`` forces the OR-of-conjunctions form even
+    where row values are available (the debugging / fallback policy).
     """
 
-    def __init__(self, schema: RelationSchema, dialect: Optional[SqlDialect] = None):
+    def __init__(
+        self,
+        schema: RelationSchema,
+        dialect: Optional[SqlDialect] = None,
+        delta_plan: str = "auto",
+    ):
+        if delta_plan not in DELTA_PLANS:
+            raise DetectionError(
+                f"unknown delta_plan {delta_plan!r}; "
+                f"expected one of {', '.join(DELTA_PLANS)}"
+            )
         self.schema = schema
         self.dialect = dialect or MEMORY_DIALECT
+        self.delta_plan = delta_plan
 
     # -- helpers ----------------------------------------------------------------
 
@@ -142,12 +187,17 @@ class DetectionSqlGenerator:
 
     # -- query generation ---------------------------------------------------------
 
-    def single_tuple_query(self, cfd: CFD, tableau_name: str) -> Optional[SqlQuery]:
+    def single_tuple_query(
+        self, cfd: CFD, tableau_name: str, include_lhs: bool = False
+    ) -> Optional[SqlQuery]:
         """``Q_C``: detect tuples violating a constant RHS pattern on their own.
 
-        Returns ``None`` when no pattern tuple of the CFD has a constant RHS.
+        Returns ``None`` when no pattern tuple of the CFD has a constant
+        RHS.  ``include_lhs`` additionally selects the tuple's LHS values
+        (``lhs_*`` columns), which lets the incremental detector assemble
+        reports from backend rows alone.
         """
-        return self._single_query(cfd, tableau_name)
+        return self._single_query(cfd, tableau_name, include_lhs=include_lhs)
 
     def single_tuple_query_delta(
         self, cfd: CFD, tableau_name: str, tid_count: int
@@ -170,6 +220,7 @@ class DetectionSqlGenerator:
         cfd: CFD,
         tableau_name: str,
         delta_tid_count: Optional[int] = None,
+        include_lhs: bool = False,
     ) -> Optional[SqlQuery]:
         rhs_constant_exists = any(
             cfd.rhs_pattern(pattern).value(attr).is_constant
@@ -193,16 +244,23 @@ class DetectionSqlGenerator:
             # The caller-bound tid placeholders come last, *after* every
             # generator-bound wildcard placeholder, so binding order is
             # always ``query.parameters`` followed by the affected tids.
-            conditions.append(
-                "("
-                + " OR ".join(f"{DATA_ALIAS}._tid = ?" for _ in range(delta_tid_count))
-                + ")"
-            )
+            # A flat IN list is one expression node on both engines, so tid
+            # chunks are bounded by the parameter budget alone.
+            placeholders = ", ".join("?" for _ in range(delta_tid_count))
+            conditions.append(f"{DATA_ALIAS}._tid IN ({placeholders})")
         where = " AND ".join(conditions)
         select_columns = [
             f"{DATA_ALIAS}._tid AS tid",
             f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} AS pattern_id",
         ]
+        if delta_tid_count is not None or include_lhs:
+            # The delta form also carries the tuple's LHS values, so the
+            # incremental detector can assemble violation reports entirely
+            # from backend rows (no working-store reads).
+            for attribute in cfd.lhs:
+                select_columns.append(
+                    f"{DATA_ALIAS}.{attribute} AS {LHS_COLUMN_PREFIX}{attribute}"
+                )
         for attribute in cfd.rhs:
             select_columns.append(f"{TABLEAU_ALIAS}.{attribute} AS expected_{attribute}")
         sql = (
@@ -274,10 +332,13 @@ class DetectionSqlGenerator:
 
         After a :class:`~repro.backends.delta.DeltaBatch` ships, only groups
         whose LHS values match a touched tuple's old or new LHS values can
-        have changed violation status.  The query appends one
-        ``(t.X1 = ? AND t.X2 = ? ...)`` disjunct per affected group; the
-        caller binds ``query.parameters`` followed by the group's LHS values
-        flattened in ``cfd.lhs`` order (the delta placeholders come last).
+        have changed violation status.  The query appends a group
+        restriction (see :meth:`uses_row_values` for its dialect-branched
+        shape); the caller binds ``query.parameters`` followed by the
+        groups' LHS values flattened with :meth:`flatten_group_keys` (the
+        delta placeholders come last; the portable NULL-safe form repeats
+        each value).  Prefer :meth:`delta_plans_multi`, which also chunks
+        by the dialect's parameter budget and returns bound queries.
         """
         if not cfd.lhs:
             raise ValueError("delta Q_V needs a non-empty LHS")
@@ -285,6 +346,47 @@ class DetectionSqlGenerator:
             raise ValueError("group_count must be at least 1")
         return self._multi_tuple_query_for(
             cfd, tableau_name, rhs_attribute, delta_group_count=group_count
+        )
+
+    def uses_row_values(self, cfd: CFD) -> bool:
+        """Whether ``cfd``'s affected-group restriction is a row-value semi-join.
+
+        True only for a multi-attribute LHS on a dialect with row-value
+        support under the ``auto`` plan policy; single-attribute LHS keys
+        always use the flat ``IN`` list, and the ``portable`` policy forces
+        the OR-of-conjunctions form everywhere.
+        """
+        return (
+            len(cfd.lhs) > 1
+            and self.delta_plan == "auto"
+            and self.dialect.supports_row_values
+        )
+
+    def _group_restriction(self, cfd: CFD, group_count: int) -> str:
+        """The affected-group restriction over ``group_count`` LHS-value groups.
+
+        All placeholders are caller-bound (the groups' LHS values flattened
+        in ``cfd.lhs`` order).  NULL never appears among the bound values —
+        a tuple with a NULL LHS cell belongs to no group on any detection
+        path — but the portable OR form still renders its equalities
+        through the dialect's NULL-safe comparison, so a stray NULL matches
+        the way the native detector's ``None == None`` does instead of
+        silently deactivating a disjunct.
+        """
+        lhs = cfd.lhs
+        if len(lhs) == 1:
+            placeholders = ", ".join("?" for _ in range(group_count))
+            return f"{DATA_ALIAS}.{lhs[0]} IN ({placeholders})"
+        if self.uses_row_values(cfd):
+            row = ", ".join(f"{DATA_ALIAS}.{attr}" for attr in lhs)
+            value_row = "(" + ", ".join("?" for _ in lhs) + ")"
+            values = ", ".join(value_row for _ in range(group_count))
+            return f"({row}) IN (VALUES {values})"
+        conjunction = " AND ".join(
+            self.dialect.null_safe_eq(f"{DATA_ALIAS}.{attr}", "?") for attr in lhs
+        )
+        return (
+            "(" + " OR ".join(f"({conjunction})" for _ in range(group_count)) + ")"
         )
 
     def _multi_tuple_query_for(
@@ -301,14 +403,7 @@ class DetectionSqlGenerator:
         )
         conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
         if delta_group_count is not None:
-            group_predicate = " AND ".join(
-                f"{DATA_ALIAS}.{attr} = ?" for attr in cfd.lhs
-            )
-            conditions.append(
-                "("
-                + " OR ".join(f"({group_predicate})" for _ in range(delta_group_count))
-                + ")"
-            )
+            conditions.append(self._group_restriction(cfd, delta_group_count))
         group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
         group_columns.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN}")
         select_columns = [
@@ -348,6 +443,197 @@ class DetectionSqlGenerator:
             f"WHERE {' AND '.join(conditions)}"
         )
         return SqlQuery(sql)
+
+    def group_members_query_delta(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        group_count: int,
+    ) -> SqlQuery:
+        """Tableau-joined member enumeration for affected violating groups.
+
+        Where :meth:`group_members_query` filters on the LHS values alone
+        and leaves pattern applicability to the caller (a working-store
+        scan), this form joins the materialised tableau so membership —
+        LHS non-NULL, pattern-constant match, non-NULL RHS — is decided by
+        the backend: ``SELECT`` the member tids plus their LHS values for
+        every group in the restriction, against one pattern row.
+
+        The caller binds ``query.parameters`` followed by the pattern
+        index, then the groups' LHS values flattened in ``cfd.lhs`` order.
+        """
+        if not cfd.lhs:
+            raise ValueError("the group-members query needs a non-empty LHS")
+        if group_count < 1:
+            raise ValueError("group_count must be at least 1")
+        params: List[Any] = []
+        conditions = self._lhs_conditions(cfd, params)
+        conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
+        conditions.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} = ?")
+        conditions.append(self._group_restriction(cfd, group_count))
+        select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+            f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+        ]
+        sql = (
+            f"SELECT {', '.join(select_columns)}\n"
+            f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
+            f"WHERE {' AND '.join(conditions)}"
+        )
+        return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute)
+
+    # -- budget-chunked delta plans ------------------------------------------------
+
+    def _chunk_size(self, base_params: int, per_item: int, or_form: bool) -> Optional[int]:
+        """Items one delta statement may carry under the dialect's budgets.
+
+        ``None`` means unbounded (no parameter cap and a flat restriction
+        shape).  The parameter budget reserves ``base_params`` slots for
+        the generator-bound placeholders of the query body; a budget too
+        small to fit even one item raises (emitting a statement that is
+        known to blow the engine's variable cap would only defer the
+        failure to an opaque execution error).
+        """
+        bounds: List[int] = []
+        if self.dialect.max_parameters is not None:
+            budget = self.dialect.max_parameters - base_params
+            per_chunk = budget // max(1, per_item)
+            if per_chunk < 1:
+                raise DetectionError(
+                    f"the {self.dialect.name!r} dialect's parameter budget "
+                    f"({self.dialect.max_parameters}) cannot fit one delta item: "
+                    f"the query body binds {base_params} values and each item "
+                    f"needs {per_item} more"
+                )
+            bounds.append(per_chunk)
+        if or_form:
+            bounds.append(self.dialect.max_or_terms)
+        return min(bounds) if bounds else None
+
+    def _chunked(self, items: Sequence[Any], size: Optional[int]) -> Iterable[Sequence[Any]]:
+        if size is None or size >= len(items):
+            yield items
+            return
+        for start in range(0, len(items), size):
+            yield items[start : start + size]
+
+    def delta_plans_single(
+        self, cfd: CFD, tableau_name: str, tids: Sequence[int]
+    ) -> List[SqlQuery]:
+        """Fully-bound delta ``Q_C`` statements covering every tid in ``tids``.
+
+        Chunked by the dialect's parameter budget; empty when ``tids`` is
+        empty or the CFD has no constant-RHS pattern (no ``Q_C`` exists).
+        """
+        if not tids:
+            return []
+        probe = self.single_tuple_query_delta(cfd, tableau_name, 1)
+        if probe is None:
+            return []
+        size = self._chunk_size(len(probe.parameters), 1, or_form=False)
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(tids), size):
+            query = self.single_tuple_query_delta(cfd, tableau_name, len(chunk))
+            plans.append(
+                SqlQuery(query.sql, tuple(query.parameters) + tuple(chunk))
+            )
+        return plans
+
+    def delta_plans_multi(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        keys: Sequence[Tuple[Any, ...]],
+    ) -> List[SqlQuery]:
+        """Fully-bound delta ``Q_V`` statements covering every group in ``keys``.
+
+        Each key is one group's LHS values in ``cfd.lhs`` order; chunking
+        follows the parameter budget (and, for the portable OR form, the
+        dialect's expression-depth cap).
+        """
+        if not keys:
+            return []
+        probe = self.multi_tuple_query_delta(cfd, tableau_name, rhs_attribute, 1)
+        size = self._chunk_size(
+            len(probe.parameters),
+            len(cfd.lhs) * self._key_binds(cfd),
+            or_form=not self._flat_restriction(cfd),
+        )
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(keys), size):
+            query = self.multi_tuple_query_delta(
+                cfd, tableau_name, rhs_attribute, len(chunk)
+            )
+            flattened = self.flatten_group_keys(cfd, chunk)
+            plans.append(SqlQuery(query.sql, tuple(query.parameters) + flattened,
+                                  rhs_attribute=rhs_attribute))
+        return plans
+
+    def delta_plans_members(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        pattern_index: int,
+        keys: Sequence[Tuple[Any, ...]],
+    ) -> List[SqlQuery]:
+        """Fully-bound group-member enumerations for groups under one pattern.
+
+        Each statement covers a budget-sized chunk of ``keys`` against the
+        tableau row ``pattern_index``; rows come back as ``(tid, lhs_*)``.
+        """
+        if not keys:
+            return []
+        probe = self.group_members_query_delta(cfd, tableau_name, rhs_attribute, 1)
+        size = self._chunk_size(
+            len(probe.parameters) + 1,  # +1: the pattern-index placeholder
+            len(cfd.lhs) * self._key_binds(cfd),
+            or_form=not self._flat_restriction(cfd),
+        )
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(keys), size):
+            query = self.group_members_query_delta(
+                cfd, tableau_name, rhs_attribute, len(chunk)
+            )
+            flattened = self.flatten_group_keys(cfd, chunk)
+            plans.append(
+                SqlQuery(
+                    query.sql,
+                    tuple(query.parameters) + (pattern_index,) + flattened,
+                    rhs_attribute=rhs_attribute,
+                )
+            )
+        return plans
+
+    def _flat_restriction(self, cfd: CFD) -> bool:
+        """Whether the group restriction is a single expression node.
+
+        True for the IN-list (single-attribute LHS) and row-value forms;
+        false for the portable OR chain, which must also respect the
+        dialect's expression-depth cap.
+        """
+        return len(cfd.lhs) == 1 or self.uses_row_values(cfd)
+
+    def _key_binds(self, cfd: CFD) -> int:
+        """Placeholder occurrences per bound LHS value in the restriction.
+
+        The flat forms mention each value once; the portable OR chain goes
+        through the dialect's NULL-safe equality, whose expansion may
+        repeat the placeholder (:attr:`SqlDialect.null_safe_eq_binds`).
+        """
+        if self._flat_restriction(cfd):
+            return 1
+        return self.dialect.null_safe_eq_binds
+
+    def flatten_group_keys(
+        self, cfd: CFD, keys: Sequence[Tuple[Any, ...]]
+    ) -> Tuple[Any, ...]:
+        """Bind-ready flattening of group keys for the restriction's shape."""
+        binds = self._key_binds(cfd)
+        return tuple(
+            value for key in keys for value in key for _ in range(binds)
+        )
 
     def generate(self, cfd: CFD, tableau_name: str) -> DetectionQueries:
         """Generate all detection SQL for one (merged or normalised) CFD."""

@@ -38,6 +38,7 @@ class DataMonitor:
         cleansed: bool = False,
         backend: Optional[StorageBackend] = None,
         mode: str = NATIVE_MODE,
+        delta_plan: str = "auto",
     ):
         self.database = database
         self.relation_name = relation_name
@@ -53,7 +54,12 @@ class DataMonitor:
         self.backend = backend
         self.log = UpdateLog()
         self._detector = IncrementalDetector(
-            database, relation_name, self.cfds, mirror=backend, mode=mode
+            database,
+            relation_name,
+            self.cfds,
+            mirror=backend,
+            mode=mode,
+            delta_plan=delta_plan,
         )
         self._repairer = IncrementalRepairer(cost_model=self.cost_model)
         self._repairs: List[Repair] = []

@@ -32,6 +32,12 @@ class SemandaqConfig:
         Python (the original path), ``"sql_delta"`` compiles the re-checks
         to parameterised delta ``Q_C``/``Q_V`` queries pushed down to the
         storage backend's resident copy.
+    sql_delta_plan:
+        Shape of the ``sql_delta`` affected-group restriction: ``"auto"``
+        branches on the backend dialect (row-value ``IN (VALUES ...)``
+        semi-joins on SQLite 3.15+, the OR-of-conjunctions form on the
+        embedded engine); ``"portable"`` forces the OR form everywhere
+        (the debugging / compatibility policy).
     repair_max_iterations:
         Round limit of the heuristic repair algorithm.
     audit_majority:
@@ -51,6 +57,7 @@ class SemandaqConfig:
     backend_options: Dict[str, Any] = field(default_factory=dict)
     use_sql_detection: bool = True
     incremental_mode: str = "native"
+    sql_delta_plan: str = "auto"
     repair_max_iterations: int = 25
     audit_majority: float = 0.5
     quality_levels: int = 5
@@ -71,6 +78,13 @@ class SemandaqConfig:
             raise ConfigurationError(
                 f"unknown incremental_mode {self.incremental_mode!r}; "
                 f"expected one of {', '.join(INCREMENTAL_MODES)}"
+            )
+        from ..detection.sqlgen import DELTA_PLANS
+
+        if self.sql_delta_plan not in DELTA_PLANS:
+            raise ConfigurationError(
+                f"unknown sql_delta_plan {self.sql_delta_plan!r}; "
+                f"expected one of {', '.join(DELTA_PLANS)}"
             )
         if self.repair_max_iterations < 1:
             raise ConfigurationError("repair_max_iterations must be at least 1")

@@ -412,6 +412,7 @@ class Semandaq:
             cleansed=cleansed,
             backend=None if self._backend_shared else self.backend,
             mode=self.config.incremental_mode,
+            delta_plan=self.config.sql_delta_plan,
         )
 
     # -- lifecycle ---------------------------------------------------------------------------------------

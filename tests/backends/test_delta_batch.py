@@ -12,6 +12,8 @@ behaviour, and the backend context-manager protocol.
 import sqlite3
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.backends import DeltaBatch, MemoryBackend, SqliteBackend
 from repro.engine.relation import Relation
@@ -157,6 +159,45 @@ class TestApplyDeltaBatch:
         backend.apply_delta_batch("items", DeltaBatch("items"))
         assert list(backend.iter_rows("items")) == before
 
+    def test_empty_coalesced_batch_opens_no_transaction(self):
+        # a batch that nets out to nothing (insert + delete of the same
+        # tid) must not touch the connection: no statements, no write
+        # transaction, no commit
+        backend = _loaded(SqliteBackend())
+        batch = DeltaBatch("items")
+        batch.record_insert(3, {"NAME": "ghost", "QTY": 1, "OK": True})
+        batch.record_update(3, {"QTY": 2})
+        batch.record_delete(3)
+        assert batch.is_empty()
+        statements, commits = [], []
+
+        class CountingConnection:
+            def __init__(self, conn):
+                self._conn = conn
+
+            def execute(self, sql, *args):
+                statements.append(sql)
+                return self._conn.execute(sql, *args)
+
+            def executemany(self, sql, *args):
+                statements.append(sql)
+                return self._conn.executemany(sql, *args)
+
+            def commit(self):
+                commits.append(1)
+                return self._conn.commit()
+
+            def __getattr__(self, attribute):
+                return getattr(self._conn, attribute)
+
+        raw = backend._conn
+        backend._conn = CountingConnection(raw)
+        backend.apply_delta_batch("items", batch)
+        assert statements == []
+        assert commits == []
+        assert not raw.in_transaction
+        backend.close()
+
     def test_tid_counter_advances_past_batch_inserts(self, backend):
         batch = DeltaBatch("items")
         batch.record_insert(10, {"NAME": "nail", "QTY": 1, "OK": True})
@@ -218,6 +259,116 @@ class TestApplyDeltaBatch:
         backend.apply_delta_batch("items", _mixed_batch())
         assert sum(commits) == 1
         backend.close()
+
+
+class TestBatchReplayProperty:
+    """Random op sequences: one coalesced batch == raw one-by-one replay."""
+
+    row_strategy = st.fixed_dictionaries(
+        {
+            "NAME": st.sampled_from(["bolt", "nut", "pin", None]),
+            "QTY": st.one_of(st.integers(min_value=0, max_value=9), st.none()),
+            "OK": st.one_of(st.booleans(), st.none()),
+        }
+    )
+
+    def _draw_ops(self, data):
+        """A random op sequence that is valid against the live relation."""
+        live = {0, 1, 2}
+        freed = []
+        next_tid = 3
+        ops = []
+        for _ in range(data.draw(st.integers(min_value=1, max_value=10))):
+            choices = ["insert"]
+            if live:
+                choices += ["delete", "update"]
+            if freed:
+                choices.append("reinsert")  # replace: delete then insert
+            op = data.draw(st.sampled_from(choices))
+            if op in ("insert", "reinsert"):
+                tid = freed.pop() if op == "reinsert" else next_tid
+                if op == "insert":
+                    next_tid += 1
+                ops.append(("insert", tid, data.draw(self.row_strategy)))
+                live.add(tid)
+            elif op == "delete":
+                tid = data.draw(st.sampled_from(sorted(live)))
+                live.remove(tid)
+                freed.append(tid)
+                ops.append(("delete", tid, None))
+            else:
+                tid = data.draw(st.sampled_from(sorted(live)))
+                changes = data.draw(self.row_strategy)
+                subset = data.draw(
+                    st.sets(st.sampled_from(["NAME", "QTY", "OK"]), min_size=1)
+                )
+                ops.append(
+                    ("update", tid, {attr: changes[attr] for attr in subset})
+                )
+        return ops, live
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_coalesced_batch_equals_raw_replay(self, data):
+        ops, live = self._draw_ops(data)
+        batch_backend = _loaded(SqliteBackend())
+        replay_backend = _loaded(SqliteBackend())
+        memory_replay = _loaded(MemoryBackend())
+        batch = DeltaBatch("items")
+        for op, tid, payload in ops:
+            for backend in (replay_backend, memory_replay):
+                if op == "insert":
+                    backend.insert_row("items", payload, tid=tid)
+                elif op == "delete":
+                    backend.delete_row("items", tid)
+                else:
+                    backend.update_row("items", tid, payload)
+            if op == "insert":
+                batch.record_insert(tid, payload)
+            elif op == "delete":
+                batch.record_delete(tid)
+            else:
+                batch.record_update(tid, payload)
+        batch_backend.apply_delta_batch("items", batch)
+        expected = list(replay_backend.iter_rows("items"))
+        assert list(batch_backend.iter_rows("items")) == expected
+        assert list(memory_replay.iter_rows("items")) == expected
+
+        # rollback path: a poisoned batch (one op hits a missing tid) must
+        # leave the backend exactly as it was — none of its valid ops stick
+        before = list(batch_backend.iter_rows("items"))
+        poison = DeltaBatch("items")
+        if live:
+            poison.record_update(min(live), {"QTY": 42})
+        poison.record_update(999, {"QTY": 1})
+        with pytest.raises(UnknownTupleError):
+            batch_backend.apply_delta_batch("items", poison)
+        assert list(batch_backend.iter_rows("items")) == before
+        for backend in (batch_backend, replay_backend):
+            backend.close()
+
+    def test_failed_mirror_batch_sets_desync_and_rolls_back(self):
+        # the detector-level rollback contract: a batch that fails on the
+        # mirror marks the desync and the mirror keeps its pre-batch rows
+        # (the transaction rolled the valid half of the batch back)
+        from repro.detection.incremental import IncrementalDetector
+        from repro.engine.database import Database
+
+        database = Database()
+        database.add_relation(Relation.from_rows(SCHEMA, ROWS))
+        mirror = _loaded(SqliteBackend())
+        detector = IncrementalDetector(database, "items", [], mirror=mirror)
+        # desync the mirror behind the detector's back: tid 2 disappears
+        mirror._conn.execute('DELETE FROM "items" WHERE _tid = 2')
+        mirror._conn.commit()
+        before = list(mirror.iter_rows("items"))
+        with pytest.raises(UnknownTupleError):
+            with detector.batch():
+                detector.update(0, {"QTY": 77})
+                detector.update(2, {"QTY": 88})  # missing in the mirror
+        assert detector.mirror_desynced
+        assert list(mirror.iter_rows("items")) == before
+        mirror.close()
 
 
 class TestBackendContextManager:

@@ -280,6 +280,39 @@ class TestOverlappingPatternParity:
         assert by_rhs == {"C": (0, 1), "B": (2, 3)}
 
 
+class TestNullCellParity:
+    """Data with NULL LHS and RHS cells: every path must agree.
+
+    SQL equality is UNKNOWN for NULL while the native detector's Python
+    comparisons see ``None`` directly; the plans guard every comparison
+    (``IS NOT NULL`` applicability, NULL-safe group restrictions), and this
+    tableau pins that the guards add up to the native semantics on all
+    five detection paths.
+    """
+
+    def test_null_lhs_and_rhs_cells(self, sqlite_backend_factory):
+        from tests.tableaux import NULL_CELL_CFD, null_cell_relation
+
+        reports = _all_path_reports(
+            null_cell_relation(), [NULL_CELL_CFD], sqlite_backend_factory
+        )
+        keys = {name: _violation_keys(report) for name, report in reports.items()}
+        assert (
+            keys["native"]
+            == keys["memory_sql"]
+            == keys["sqlite_sql"]
+            == keys["incremental"]
+            == keys["sql_delta"]
+        )
+        by_kind = {
+            (violation.kind, violation.lhs_values)
+            for violation in reports["sqlite_sql"].violations
+        }
+        # exactly the non-NULL group violates the FD part; the NULL-RHS
+        # tuple under the constant pattern is a single-tuple violation
+        assert by_kind == {("multi", ("x", "1")), ("single", ("w", "3"))}
+
+
 class TestSqliteEndToEnd:
     def test_full_workflow_on_sqlite_backend(
         self, dirty_customers, cfds, sqlite_config

@@ -10,11 +10,14 @@ including the overlapping-pattern and multi-wildcard-RHS tableaux that
 historically broke SQL/native parity.
 """
 
+import sqlite3
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.backends import SqliteBackend
+from repro.backends.dialect import SqliteDialect, sqlite_row_values_supported
 from repro.core.cfd import CFD
 from repro.core.parser import parse_cfd
 from repro.core.pattern import PatternTuple
@@ -29,6 +32,7 @@ from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.engine.types import RelationSchema
 from repro.errors import DetectionError
+from tests.tableaux import NULL_CELL_CFD, ROW_VALUE_SKIP_REASON, null_cell_relation
 
 
 def _violation_keys(report):
@@ -272,6 +276,261 @@ class TestUpdateParity:
             )
         assert dict(mirror.iter_rows("customer")) == dict(sql_delta.relation.rows())
         mirror.close()
+
+
+NULL_RELATION = null_cell_relation()
+NULL_CFD = NULL_CELL_CFD
+
+
+class TestNullParity:
+    """NULL LHS/RHS cells: SQL-path detection must match the native rules.
+
+    The native detector keeps NULL-LHS tuples out of every group and
+    treats a NULL RHS under a constant pattern as a single-tuple violation;
+    the SQL plans must agree on both dialects, including through the delta
+    re-checks and the backend-resident member enumeration.
+    """
+
+    def test_static_null_tableau_parity(self, backend_kind):
+        native, _ = _make_detector(NULL_RELATION, [NULL_CFD], NATIVE_MODE, "memory")
+        sql_delta, mirror = _make_detector(
+            NULL_RELATION, [NULL_CFD], SQL_DELTA_MODE, backend_kind
+        )
+        assert _violation_keys(sql_delta.report()) == _violation_keys(native.report())
+        report = sql_delta.report()
+        # the NULL-RHS constant-pattern tuple is a single violation; only
+        # the fully non-NULL group violates the FD part
+        assert {v.kind for v in report.violations} == {"single", "multi"}
+        assert {v.lhs_values for v in report.violations} == {("w", "3"), ("x", "1")}
+        if mirror is not None:
+            mirror.close()
+
+    def test_null_updates_parity(self, backend_kind):
+        def script(detector):
+            with detector.batch():
+                detector.update(0, {"A": None})      # NULL an LHS cell
+                detector.update(6, {"C": "c6"})      # un-NULL an RHS cell
+            detector.update(8, {"C": "c9"})          # heal the constant violation
+            with detector.batch():
+                detector.update(0, {"A": "x"})       # restore the LHS cell
+                detector.insert({"A": "q", "B": None, "C": "c1"})
+                detector.update(4, {"C": None})      # NULL an RHS cell
+        native, sql_delta = _replay(script, NULL_RELATION, [NULL_CFD], backend_kind)
+        # the re-created group and the un-NULLed RHS group both violate now
+        assert {v.lhs_values for v in sql_delta.report().violations} == {
+            ("x", "1"),
+            ("z", "2"),
+        }
+
+    def test_null_parity_against_batch_oracle(self, backend_kind):
+        def script(detector):
+            detector.update(2, {"A": "x"})  # pull a NULL-LHS tuple into a group
+        native, sql_delta = _replay(script, NULL_RELATION, [NULL_CFD], backend_kind)
+        oracle = ErrorDetector(sql_delta.database, use_sql=False).detect(
+            "r", [NULL_CFD]
+        )
+        assert _violation_keys(sql_delta.report()) == _violation_keys(oracle)
+
+
+class TestParameterBudget:
+    """Chunking by bound parameters, not group count (the wide-LHS bug)."""
+
+    WIDE_ATTRS = tuple(f"A{index}" for index in range(1, 7))
+
+    def _wide_setup(self, groups=300):
+        schema = RelationSchema.of("w", list(self.WIDE_ATTRS) + ["C"])
+        rows = []
+        for index in range(groups):
+            row = {attr: f"v{index}_{attr}" for attr in self.WIDE_ATTRS}
+            rows.append(dict(row, C="x"))
+            rows.append(dict(row, C="x"))
+        relation = Relation.from_rows(schema, rows)
+        cfd = CFD(
+            relation="w",
+            lhs=self.WIDE_ATTRS,
+            rhs=("C",),
+            patterns=(
+                PatternTuple.of({attr: "_" for attr in self.WIDE_ATTRS + ("C",)}),
+            ),
+            name="phi_wide",
+        )
+        return relation, cfd
+
+    @pytest.mark.parametrize("delta_plan", ["auto", "portable"])
+    def test_wide_lhs_regression_under_999_variable_cap(self, delta_plan):
+        # a 6-attribute LHS at 300 affected groups used to ship
+        # 200 * 6 + pattern placeholders per statement — over SQLite's
+        # default 999-variable cap; chunks are now sized by the dialect's
+        # parameter budget
+        relation, cfd = self._wide_setup()
+        database = Database()
+        database.add_relation(relation.copy())
+        mirror = SqliteBackend(max_parameters=999)
+        if hasattr(mirror._conn, "setlimit"):
+            # make SQLite actually enforce the historical cap
+            mirror._conn.setlimit(sqlite3.SQLITE_LIMIT_VARIABLE_NUMBER, 999)
+        mirror.add_relation(database.relation("w"))
+        sql_delta = IncrementalDetector(
+            database, "w", [cfd], mirror=mirror, mode=SQL_DELTA_MODE,
+            delta_plan=delta_plan,
+        )
+        with sql_delta.batch():
+            for tid in range(0, 2 * 300, 2):
+                sql_delta.update(tid, {"C": f"y{tid % 3}"})
+        native, _ = _make_detector(
+            sql_delta.relation, [cfd], NATIVE_MODE, "memory"
+        )
+        assert _violation_keys(sql_delta.report()) == _violation_keys(native.report())
+        assert sql_delta.report().total_violations() == 300
+        mirror.close()
+
+    def test_one_statement_never_exceeds_the_budget(self):
+        relation, cfd = self._wide_setup(groups=50)
+        database = Database()
+        database.add_relation(relation.copy())
+        mirror = SqliteBackend(max_parameters=120)
+        mirror.add_relation(database.relation("w"))
+        seen = []
+        original = mirror.execute
+
+        def counting_execute(sql, parameters=None):
+            seen.append(len(tuple(parameters or ())))
+            return original(sql, parameters)
+
+        mirror.execute = counting_execute
+        sql_delta = IncrementalDetector(
+            database, "w", [cfd], mirror=mirror, mode=SQL_DELTA_MODE
+        )
+        with sql_delta.batch():
+            for tid in range(0, 100, 2):
+                sql_delta.update(tid, {"C": f"y{tid % 3}"})
+        sql_delta.report()
+        assert seen and max(seen) <= 120
+        mirror.close()
+
+
+class TestBackendResidentAssembly:
+    """sql_delta report assembly must never read the working store."""
+
+    class _ForbiddenRelation:
+        """A stand-in that fails the test on any working-store access."""
+
+        def __init__(self, name):
+            self._name = name
+
+        def __getattr__(self, attribute):
+            raise AssertionError(
+                f"report assembly read working store: {self._name}.{attribute}"
+            )
+
+        def __len__(self):
+            raise AssertionError(
+                f"report assembly read working store: len({self._name})"
+            )
+
+    def test_report_reads_zero_working_store(self, backend_kind):
+        relation = generate_customers(60, seed=101)
+        relation.update(0, {"CNT": "Narnia"})
+        sql_delta, mirror = _make_detector(
+            relation, paper_cfds(), SQL_DELTA_MODE, backend_kind
+        )
+        sql_delta.update(1, {"STR": "Elsewhere Road"})
+        with sql_delta.batch():
+            sql_delta.insert(dict(relation.get(2), CC="99"))
+            sql_delta.delete(3)
+        live = sql_delta.relation
+        sql_delta.relation = self._ForbiddenRelation("customer")
+        try:
+            report = sql_delta.report()
+        finally:
+            sql_delta.relation = live
+        assert report.total_violations() > 0
+        assert report.tuple_count == len(live)
+        native, _ = _make_detector(live, paper_cfds(), NATIVE_MODE, "memory")
+        assert _violation_keys(report) == _violation_keys(native.report())
+        if mirror is not None:
+            mirror.close()
+
+    def test_monitored_report_reads_zero_working_store(self):
+        from repro.monitor.monitor import DataMonitor
+        from repro.monitor.updates import Update
+
+        relation = generate_customers(40, seed=103)
+        database = Database()
+        database.add_relation(relation.copy())
+        mirror = SqliteBackend()
+        mirror.add_relation(database.relation("customer"))
+        monitor = DataMonitor(
+            database, "customer", paper_cfds(), backend=mirror, mode=SQL_DELTA_MODE
+        )
+        monitor.apply(Update.modify(0, {"CNT": "Narnia"}))
+        live = monitor._detector.relation
+        monitor._detector.relation = self._ForbiddenRelation("customer")
+        try:
+            report = monitor.current_report()
+        finally:
+            monitor._detector.relation = live
+        assert report.total_violations() > 0
+        mirror.close()
+
+
+class TestRowValuePlanGate:
+    """The row-value semi-join path and its version/env gate."""
+
+    @pytest.mark.skipif(
+        not sqlite_row_values_supported(), reason=ROW_VALUE_SKIP_REASON
+    )
+    def test_row_value_plans_run_against_sqlite(self):
+        relation = OVERLAP_RELATION.copy()
+        database = Database()
+        database.add_relation(relation)
+        mirror = SqliteBackend()
+        mirror.add_relation(database.relation("r"))
+        sql_delta = IncrementalDetector(
+            database, "r", [OVERLAP_CFD], mirror=mirror, mode=SQL_DELTA_MODE
+        )
+        assert sql_delta._generator.uses_row_values(
+            sql_delta._units[0].cfd
+        )
+        seen = []
+        original = mirror.execute
+
+        def recording_execute(sql, parameters=None):
+            seen.append(sql)
+            return original(sql, parameters)
+
+        mirror.execute = recording_execute
+        sql_delta.update(0, {"C": "c9"})
+        assert any("IN (VALUES" in sql for sql in seen)
+        native, _ = _make_detector(
+            sql_delta.relation, [OVERLAP_CFD], NATIVE_MODE, "memory"
+        )
+        assert _violation_keys(sql_delta.report()) == _violation_keys(native.report())
+        mirror.close()
+
+    def test_forced_portable_backend_skips_row_values(self):
+        mirror = SqliteBackend(row_values=False)
+        assert not mirror.dialect.supports_row_values
+        database = Database()
+        database.add_relation(OVERLAP_RELATION.copy())
+        mirror.add_relation(database.relation("r"))
+        sql_delta = IncrementalDetector(
+            database, "r", [OVERLAP_CFD], mirror=mirror, mode=SQL_DELTA_MODE
+        )
+        assert not sql_delta._generator.uses_row_values(sql_delta._units[0].cfd)
+        sql_delta.update(0, {"C": "c9"})
+        native, _ = _make_detector(
+            sql_delta.relation, [OVERLAP_CFD], NATIVE_MODE, "memory"
+        )
+        assert _violation_keys(sql_delta.report()) == _violation_keys(native.report())
+        mirror.close()
+
+    def test_env_gate_forces_portable(self, monkeypatch):
+        monkeypatch.setenv("SEMANDAQ_SQLITE_ROW_VALUES", "0")
+        assert not sqlite_row_values_supported()
+        assert not SqliteDialect().supports_row_values
+        monkeypatch.delenv("SEMANDAQ_SQLITE_ROW_VALUES")
+        assert SqliteDialect(supports_row_values=False).supports_row_values is False
 
 
 class TestLifecycle:

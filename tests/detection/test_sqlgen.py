@@ -2,12 +2,21 @@
 
 import pytest
 
-from repro.backends.dialect import MEMORY_DIALECT, SQLITE_DIALECT
+from repro.backends.dialect import (
+    MEMORY_DIALECT,
+    SQLITE_DIALECT,
+    SqliteDialect,
+    sqlite_row_values_supported,
+)
+from repro.core.cfd import CFD
 from repro.core.parser import parse_cfd
+from repro.core.pattern import PatternTuple
 from repro.core.tableau import tableau_to_relation
 from repro.detection.sqlgen import DetectionSqlGenerator, tableau_relation_name
 from repro.engine.database import Database
 from repro.engine.types import AttributeDef, DataType, RelationSchema
+from repro.errors import DetectionError
+from tests.tableaux import ROW_VALUE_SKIP_REASON
 
 SCHEMA = RelationSchema.of("customer", ["NAME", "CNT", "CITY", "ZIP", "STR", "CC", "AC"])
 
@@ -154,6 +163,155 @@ class TestNaming:
         assert queries.multi_sql is None
         assert queries.group_members_sql is not None
         assert queries.all_sql() == [queries.single_sql.sql]
+
+
+def _two_lhs_cfd(relation="r"):
+    return CFD(
+        relation=relation,
+        lhs=("A", "B"),
+        rhs=("C",),
+        patterns=(PatternTuple.of({"A": "_", "B": "_", "C": "_"}),),
+        name="phi_two_lhs",
+    )
+
+
+TWO_LHS_SCHEMA = RelationSchema.of("r", ["A", "B", "C"])
+
+_NO_ROW_VALUES = not sqlite_row_values_supported()
+
+
+class TestDeltaPlans:
+    """The dialect-branched, budget-chunked delta query plans."""
+
+    def test_delta_qc_uses_in_list_and_carries_lhs(self):
+        generator = DetectionSqlGenerator(TWO_LHS_SCHEMA, dialect=SqliteDialect())
+        cfd = parse_cfd("r: [A='x', B=_] -> [C='c1']")
+        query = generator.single_tuple_query_delta(cfd, "tab", 3)
+        assert "t._tid IN (?, ?, ?)" in query.sql
+        assert "t.A AS lhs_A" in query.sql and "t.B AS lhs_B" in query.sql
+        # the non-delta Q_C keeps its historical column list
+        assert "lhs_A" not in generator.single_tuple_query(cfd, "tab").sql
+
+    def test_single_attribute_groups_use_flat_in_list_everywhere(self):
+        cfd = parse_cfd("r: [A=_] -> [C=_]")
+        for dialect in (MEMORY_DIALECT, SqliteDialect()):
+            generator = DetectionSqlGenerator(TWO_LHS_SCHEMA, dialect=dialect)
+            query = generator.multi_tuple_query_delta(cfd, "tab", "C", 4)
+            assert "t.A IN (?, ?, ?, ?)" in query.sql
+            assert "VALUES" not in query.sql
+
+    @pytest.mark.skipif(_NO_ROW_VALUES, reason=ROW_VALUE_SKIP_REASON)
+    def test_multi_attribute_groups_use_row_values_on_sqlite(self):
+        generator = DetectionSqlGenerator(TWO_LHS_SCHEMA, dialect=SqliteDialect())
+        cfd = _two_lhs_cfd()
+        assert generator.uses_row_values(cfd)
+        query = generator.multi_tuple_query_delta(cfd, "tab", "C", 2)
+        assert "(t.A, t.B) IN (VALUES (?, ?), (?, ?))" in query.sql
+
+    def test_portable_plan_forces_or_form(self):
+        generator = DetectionSqlGenerator(
+            TWO_LHS_SCHEMA, dialect=SqliteDialect(), delta_plan="portable"
+        )
+        cfd = _two_lhs_cfd()
+        assert not generator.uses_row_values(cfd)
+        query = generator.multi_tuple_query_delta(cfd, "tab", "C", 2)
+        assert "VALUES" not in query.sql
+        # SQLite's NULL-safe equality is its IS operator, bound once
+        assert "t.A IS ?" in query.sql
+        assert generator.flatten_group_keys(cfd, [("x", "y")]) == ("x", "y")
+
+    def test_memory_or_form_is_null_safe_and_repeats_binds(self):
+        generator = DetectionSqlGenerator(TWO_LHS_SCHEMA, dialect=MEMORY_DIALECT)
+        cfd = _two_lhs_cfd()
+        query = generator.multi_tuple_query_delta(cfd, "tab", "C", 1)
+        assert "(t.A = ? OR (t.A IS NULL AND ? IS NULL))" in query.sql
+        # the portable expansion mentions each bound value twice
+        assert generator.flatten_group_keys(cfd, [("x", "y")]) == ("x", "x", "y", "y")
+
+    def test_chunking_respects_parameter_budget(self):
+        generator = DetectionSqlGenerator(
+            TWO_LHS_SCHEMA, dialect=SqliteDialect(max_parameters=20)
+        )
+        cfd = _two_lhs_cfd()
+        keys = [(f"a{i}", f"b{i}") for i in range(30)]
+        plans = generator.delta_plans_multi(cfd, "tab", "C", keys)
+        assert len(plans) > 1
+        for plan in plans:
+            assert plan.sql.count("?") == len(plan.parameters) <= 20
+        # every group appears in exactly one plan
+        bound = [value for plan in plans for value in plan.parameters]
+        for key in keys:
+            assert key[0] in bound and key[1] in bound
+
+    def test_tid_chunking_respects_parameter_budget(self):
+        generator = DetectionSqlGenerator(
+            TWO_LHS_SCHEMA, dialect=SqliteDialect(max_parameters=10)
+        )
+        cfd = parse_cfd("r: [A=_, B=_] -> [C='c1']")
+        plans = generator.delta_plans_single(cfd, "tab", list(range(25)))
+        assert len(plans) > 1
+        for plan in plans:
+            assert plan.sql.count("?") == len(plan.parameters) <= 10
+
+    def test_memory_dialect_is_unbounded_but_caps_or_chains(self):
+        generator = DetectionSqlGenerator(TWO_LHS_SCHEMA, dialect=MEMORY_DIALECT)
+        cfd = _two_lhs_cfd()
+        # flat tid restriction: one statement regardless of batch size
+        assert len(generator.delta_plans_single(
+            parse_cfd("r: [A=_] -> [C='c1']"), "tab", list(range(1000))
+        )) == 1
+        # OR-of-conjunctions: chunked at the expression-depth cap
+        keys = [(f"a{i}", f"b{i}") for i in range(450)]
+        plans = generator.delta_plans_multi(cfd, "tab", "C", keys)
+        assert len(plans) == 3  # ceil(450 / max_or_terms=200)
+
+    def test_members_plans_execute_on_engine(self):
+        database = Database()
+        relation_rows = [
+            {"A": "x", "B": "1", "C": "c1"},
+            {"A": "x", "B": "1", "C": "c2"},
+            {"A": "x", "B": "1", "C": None},  # NULL RHS: not a member
+            {"A": "y", "B": "2", "C": "c1"},
+        ]
+        from repro.engine.relation import Relation
+
+        database.add_relation(Relation.from_rows(TWO_LHS_SCHEMA, relation_rows))
+        cfd = _two_lhs_cfd()
+        database.add_relation(tableau_to_relation(cfd, "tab_members"))
+        generator = DetectionSqlGenerator(TWO_LHS_SCHEMA, dialect=MEMORY_DIALECT)
+        plans = generator.delta_plans_members(
+            cfd, "tab_members", "C", 0, [("x", "1"), ("y", "2")]
+        )
+        rows = [
+            row for plan in plans for row in database.query(plan.sql, plan.parameters)
+        ]
+        by_group = {}
+        for row in rows:
+            by_group.setdefault((row["lhs_A"], row["lhs_B"]), []).append(row["tid"])
+        assert by_group == {("x", "1"): [0, 1], ("y", "2"): [3]}
+
+    def test_empty_inputs_produce_no_plans(self):
+        generator = DetectionSqlGenerator(TWO_LHS_SCHEMA, dialect=SqliteDialect())
+        cfd = _two_lhs_cfd()
+        assert generator.delta_plans_single(cfd, "tab", []) == []
+        assert generator.delta_plans_multi(cfd, "tab", "C", []) == []
+        assert generator.delta_plans_members(cfd, "tab", "C", 0, []) == []
+        # a wildcard-RHS-only CFD has no Q_C, so no single plans either
+        assert generator.delta_plans_single(cfd, "tab", [1, 2]) == []
+
+    def test_invalid_delta_plan_rejected(self):
+        with pytest.raises(DetectionError):
+            DetectionSqlGenerator(TWO_LHS_SCHEMA, delta_plan="quantum")
+
+    def test_budget_too_small_for_one_item_raises(self):
+        # silently emitting an over-budget statement would only defer the
+        # failure to an opaque "too many SQL variables" execution error
+        generator = DetectionSqlGenerator(
+            TWO_LHS_SCHEMA, dialect=SqliteDialect(max_parameters=4)
+        )
+        cfd = _two_lhs_cfd()  # Q_V body binds 3 wildcards, each group 2 more
+        with pytest.raises(DetectionError, match="parameter budget"):
+            generator.delta_plans_multi(cfd, "tab", "C", [("x", "y")])
 
 
 class TestDialects:
