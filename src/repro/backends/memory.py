@@ -104,6 +104,9 @@ class MemoryBackend(StorageBackend):
     def to_relation(self, name: str) -> Relation:
         # The live object: the engine already *is* an in-memory relation, so
         # materialisation is free and mutations stay visible to the backend.
+        # (The SQL detection paths never call this — they stay on execute()
+        # and the catalog ops even here, so the detector's access pattern is
+        # identical across backends.)
         return self.database.relation(name)
 
     # -- queries and indexes -------------------------------------------------------

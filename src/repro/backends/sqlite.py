@@ -58,6 +58,12 @@ _AFFINITY_TYPES = {
 #: name of the hidden tuple-id column
 TID_COLUMN = "_tid"
 
+#: default size of the connection's prepared-statement cache.  The default
+#: of the stdlib module (128) is too small once the detection layer issues
+#: per-chunk delta Q_C/Q_V and covering-members statements for several CFDs
+#: per round; 512 keeps every recurring shape compiled.
+STATEMENT_CACHE_SIZE = 512
+
 #: name prefix of the detection layer's internal relations (temporary
 #: detection tableaux and the incremental detector's resident tableaux);
 #: never part of the user's catalog
@@ -86,9 +92,15 @@ class SqliteBackend(StorageBackend):
         synchronous: str = "NORMAL",
         max_parameters: Optional[int] = None,
         row_values: Optional[bool] = None,
+        cached_statements: int = STATEMENT_CACHE_SIZE,
     ):
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        # The budget-chunked delta/members statements recur with a bounded
+        # set of shapes (one per parameter-budget chunk size); a statement
+        # cache larger than sqlite3's default 128 keeps them compiled
+        # across rounds — the connection-level half of the prepared-plan
+        # caching whose SQL-text half lives in DetectionSqlGenerator.
+        self._conn = sqlite3.connect(self.path, cached_statements=cached_statements)
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute(f"PRAGMA synchronous={synchronous}")

@@ -8,11 +8,26 @@ backend — the paper's pushdown to the underlying DBMS — and assembles a
 Python) detection path that bypasses SQL is kept both as a correctness
 oracle and for the SQL-vs-native ablation benchmark.
 
+The SQL path is *fully backend-resident*: ``Q_C`` carries each violating
+tuple's LHS values (``lhs_*`` columns), group members are enumerated by
+the covering members plan
+(:meth:`~repro.detection.sqlgen.DetectionSqlGenerator.covering_members_query`),
+and schema and row count come from the backend's catalog ops — ``detect``
+and ``detect_for_tuples`` perform **zero reads against the in-memory
+working store**, so batch detection runs against a remote server without
+shipping the relation back.  Backend values are decoded per schema dtype
+(:func:`decode_backend_value`) so reports stay identical across backends.
+
+``detect_for_tuples`` pushes the tuple restriction down as well: the
+PR 4-style delta plans re-check only the named tids (flat, dialect-chunked
+``IN`` lists) and the LHS-value groups they belong to, instead of running
+a full detection and filtering the report afterwards.
+
 The detector accepts either a :class:`~repro.engine.database.Database`
 (wrapped in a :class:`~repro.backends.memory.MemoryBackend`, preserving the
 seed API) or any :class:`~repro.backends.base.StorageBackend`; detection SQL
-is generated in the backend's dialect, and CFD LHS indexes are created on
-the backend before the grouping queries run.
+is generated in the backend's dialect through one cached generator per
+relation, whose prepared-plan cache persists across ``detect`` calls.
 """
 
 from __future__ import annotations
@@ -22,7 +37,6 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Un
 from ..backends.base import StorageBackend
 from ..backends.memory import MemoryBackend
 from ..core.cfd import CFD
-from ..core.pattern import PatternTuple
 from ..core.satisfaction import (
     multi_tuple_violation_groups,
     single_tuple_violations,
@@ -30,9 +44,31 @@ from ..core.satisfaction import (
 from ..core.tableau import tableau_to_relation
 from ..engine.database import Database
 from ..engine.relation import Relation
+from ..engine.types import DataType, RelationSchema
 from ..errors import DetectionError
-from .sqlgen import DetectionSqlGenerator, SqlQuery, tableau_relation_name
+from .sqlgen import (
+    LHS_COLUMN_PREFIX,
+    DetectionSqlGenerator,
+    SqlQuery,
+    tableau_relation_name,
+)
 from .violations import MULTI, SINGLE, Violation, ViolationReport
+
+
+def decode_backend_value(schema: RelationSchema, attribute: str, value: Any) -> Any:
+    """Decode one backend-stored value into its engine representation.
+
+    SQLite hands back stored representations (0/1 for booleans); the
+    working store holds engine values — hash-equal, but reports must show
+    the latter.  Every other type round-trips unchanged, so this is an
+    identity on the memory backend.  Shared by the batch detector and the
+    incremental detector's ``sql_delta`` mode.
+    """
+    if value is None:
+        return None
+    if schema.attribute(attribute).dtype is DataType.BOOLEAN:
+        return bool(value)
+    return value
 
 
 def _sub_cfd(cfd: CFD, rhs_attribute: str) -> CFD:
@@ -50,32 +86,6 @@ def _sub_cfd(cfd: CFD, rhs_attribute: str) -> CFD:
     )
 
 
-def group_member_tids(
-    relation: Relation,
-    cfd: CFD,
-    pattern: PatternTuple,
-    lhs_values: Tuple[Any, ...],
-    rhs_attribute: str,
-) -> List[int]:
-    """Tids of the tuples belonging to one violating LHS group.
-
-    Shared by the batch SQL detector and the incremental detector's
-    ``sql_delta`` mode: the grouping queries identify *which* groups
-    violate; membership (pattern applicability, non-NULL RHS) is enumerated
-    here against the in-memory relation's hash index.
-    """
-    candidate_tids = relation.lookup(list(cfd.lhs), list(lhs_values))
-    members: List[int] = []
-    for tid in candidate_tids:
-        row = relation.get(tid)
-        if not cfd.applies_to(row, pattern):
-            continue
-        if row.get(rhs_attribute) is None:
-            continue
-        members.append(tid)
-    return sorted(members)
-
-
 class ErrorDetector:
     """Detects single-tuple and multi-tuple CFD violations in a relation."""
 
@@ -91,35 +101,34 @@ class ErrorDetector:
         self.use_sql = use_sql
         #: SQL statements issued by the last ``detect`` call (for inspection).
         self.last_sql: List[str] = []
+        #: one generator (and prepared-plan cache) per detected relation
+        self._generators: Dict[str, DetectionSqlGenerator] = {}
 
     # -- public API --------------------------------------------------------------
 
     def detect(self, relation_name: str, cfds: Sequence[CFD]) -> ViolationReport:
         """Run detection of every CFD in ``cfds`` over ``relation_name``."""
-        relation = self.backend.to_relation(relation_name)
         self.last_sql = []
-        for cfd in cfds:
-            if cfd.relation != relation_name:
-                raise DetectionError(
-                    f"CFD {cfd.identifier} targets relation {cfd.relation!r}, "
-                    f"not {relation_name!r}"
-                )
-            cfd.validate_against(relation.attribute_names)
+        if self.use_sql:
+            schema, tuple_count = self._sql_preamble(relation_name, cfds)
+            relation: Optional[Relation] = None
+        else:
+            relation = self.backend.to_relation(relation_name)
+            schema = relation.schema
+            tuple_count = len(relation)
+            self._validate(relation_name, cfds, schema)
 
         violations: List[Violation] = []
         for index, cfd in enumerate(cfds):
             for rhs_attribute in cfd.rhs:
                 sub = _sub_cfd(cfd, rhs_attribute)
                 if self.use_sql:
-                    violations.extend(self._detect_sql(relation, cfd, sub, index))
+                    violations.extend(
+                        self._detect_sql(relation_name, schema, cfd, sub, index)
+                    )
                 else:
                     violations.extend(self._detect_native(relation, cfd, sub))
-        return ViolationReport(
-            relation=relation_name,
-            violations=violations,
-            tuple_count=len(relation),
-            cfd_ids=tuple(cfd.identifier for cfd in cfds),
-        )
+        return self._report(relation_name, cfds, violations, tuple_count)
 
     def detect_for_tuples(
         self, relation_name: str, cfds: Sequence[CFD], tids: Iterable[int]
@@ -127,115 +136,277 @@ class ErrorDetector:
         """Detect violations restricted to those involving any tuple in ``tids``.
 
         Used by the explorer's "why is this tuple dirty" view and by the
-        cleansing-review workflow.
+        cleansing-review workflow.  On the SQL path the restriction is
+        pushed down: the delta ``Q_C``/``Q_V`` plans re-check only the
+        named tids and the LHS-value groups they belong to (flat tid ``IN``
+        lists and dialect-branched group restrictions, chunked by the
+        parameter budget), with the same report a full detection filtered
+        to ``tids`` would produce.  The native path keeps the
+        filter-after-detect evaluation as the oracle.
         """
-        report = self.detect(relation_name, cfds)
         wanted = set(tids)
-        filtered = [
-            violation
-            for violation in report.violations
-            if wanted & set(violation.tids)
-        ]
-        return ViolationReport(
-            relation=relation_name,
-            violations=filtered,
-            tuple_count=report.tuple_count,
-            cfd_ids=report.cfd_ids,
-        )
+        if not self.use_sql:
+            report = self.detect(relation_name, cfds)
+            filtered = [
+                violation
+                for violation in report.violations
+                if wanted & set(violation.tids)
+            ]
+            return ViolationReport(
+                relation=relation_name,
+                violations=filtered,
+                tuple_count=report.tuple_count,
+                cfd_ids=report.cfd_ids,
+            )
+        schema, tuple_count = self._sql_preamble(relation_name, cfds)
+        violations: List[Violation] = []
+        restrict = sorted(wanted)
+        if restrict:
+            generator = self._generator_for(relation_name, schema)
+            for index, cfd in enumerate(cfds):
+                # the affected LHS-value groups depend on the (parent)
+                # LHS alone, so one backend lookup serves every RHS
+                # attribute of a merged CFD
+                restrict_keys: Optional[List[Tuple[Any, ...]]] = None
+                for rhs_attribute in cfd.rhs:
+                    sub = _sub_cfd(cfd, rhs_attribute)
+                    needs_keys = bool(
+                        sub.lhs
+                    ) and generator.wildcard_rhs_attributes(sub)
+                    if needs_keys and restrict_keys is None:
+                        restrict_keys = self._restricted_group_keys(
+                            generator, cfd, restrict
+                        )
+                    violations.extend(
+                        self._detect_sql(
+                            relation_name,
+                            schema,
+                            cfd,
+                            sub,
+                            index,
+                            restrict_tids=restrict,
+                            restrict_keys=restrict_keys if needs_keys else [],
+                        )
+                    )
+        return self._report(relation_name, cfds, violations, tuple_count)
 
     # -- SQL-based path ------------------------------------------------------------
 
+    def _sql_preamble(
+        self, relation_name: str, cfds: Sequence[CFD]
+    ) -> Tuple[RelationSchema, int]:
+        """Shared entry of the backend-resident paths.
+
+        Resets the SQL log and reads schema + row count through catalog
+        ops — the queries run where the data lives and report assembly
+        reads backend rows only, so the working store is never touched.
+        """
+        self.last_sql = []
+        schema = self.backend.schema(relation_name)
+        tuple_count = self.backend.row_count(relation_name)
+        self._validate(relation_name, cfds, schema)
+        return schema, tuple_count
+
+    def _report(
+        self,
+        relation_name: str,
+        cfds: Sequence[CFD],
+        violations: List[Violation],
+        tuple_count: int,
+    ) -> ViolationReport:
+        return ViolationReport(
+            relation=relation_name,
+            violations=violations,
+            tuple_count=tuple_count,
+            cfd_ids=tuple(cfd.identifier for cfd in cfds),
+        )
+
+    def _validate(
+        self, relation_name: str, cfds: Sequence[CFD], schema: RelationSchema
+    ) -> None:
+        for cfd in cfds:
+            if cfd.relation != relation_name:
+                raise DetectionError(
+                    f"CFD {cfd.identifier} targets relation {cfd.relation!r}, "
+                    f"not {relation_name!r}"
+                )
+            cfd.validate_against(schema.attribute_names)
+
+    def _generator_for(
+        self, relation_name: str, schema: RelationSchema
+    ) -> DetectionSqlGenerator:
+        """The cached per-relation generator (rebuilt on schema change).
+
+        Keeping the generator across ``detect`` calls is what makes its
+        prepared-plan cache effective: repeated detections over the same
+        CFDs reuse the rendered ``Q_C``/``Q_V``/members statements.
+        """
+        generator = self._generators.get(relation_name)
+        if generator is None or generator.schema != schema:
+            generator = DetectionSqlGenerator(schema, dialect=self.backend.dialect)
+            self._generators[relation_name] = generator
+        return generator
+
     def _detect_sql(
-        self, relation: Relation, parent: CFD, cfd: CFD, cfd_index: int
+        self,
+        relation_name: str,
+        schema: RelationSchema,
+        parent: CFD,
+        cfd: CFD,
+        cfd_index: int,
+        restrict_tids: Optional[Sequence[int]] = None,
+        restrict_keys: Optional[Sequence[Tuple[Any, ...]]] = None,
     ) -> List[Violation]:
-        generator = DetectionSqlGenerator(relation.schema, dialect=self.backend.dialect)
+        generator = self._generator_for(relation_name, schema)
         tableau_name = tableau_relation_name(cfd, cfd_index) + f"_{cfd.rhs[0]}"
         tableau = tableau_to_relation(cfd, tableau_name)
         if cfd.lhs:
-            self.backend.ensure_index(relation.name, cfd.lhs)
+            self.backend.ensure_index(relation_name, cfd.lhs)
+        # The positional tableau name may have hosted a different CFD in a
+        # previous detect call; claiming it drops that occupant's plans
+        # while keeping this CFD's own plans warm across repeated detects.
+        generator.claim_tableau(tableau_name, cfd)
         self.backend.add_relation(tableau, replace=True)
         try:
-            queries = generator.generate(cfd, tableau_name)
+            if restrict_tids is None:
+                single = generator.single_tuple_query(
+                    cfd, tableau_name, include_lhs=True
+                )
+                single_queries = [single] if single is not None else []
+                multi_queries = list(generator.multi_tuple_queries(cfd, tableau_name))
+                wanted: Optional[Set[int]] = None
+            else:
+                single_queries = generator.delta_plans_single(
+                    cfd, tableau_name, restrict_tids
+                )
+                multi_queries = generator.delta_plans_multi(
+                    cfd, tableau_name, cfd.rhs[0], list(restrict_keys or [])
+                )
+                wanted = set(restrict_tids)
             violations: List[Violation] = []
             violations.extend(
-                self._run_single_query(relation, parent, cfd, queries.single_sql)
+                self._assemble_singles(parent, cfd, schema, single_queries)
             )
-            for multi_query in queries.multi_sqls:
-                violations.extend(
-                    self._run_multi_query(relation, parent, cfd, multi_query)
+            violations.extend(
+                self._assemble_multis(
+                    generator, parent, cfd, schema, tableau_name, multi_queries, wanted
                 )
+            )
             return violations
         finally:
+            # The tableau is dropped but the plans stay cached: they remain
+            # valid for this exact CFD, and the next claim_tableau sweeps
+            # them if a different CFD takes the name.
             self.backend.drop_relation(tableau_name)
 
-    def _run_single_query(
+    def _execute(self, query: SqlQuery) -> List[Dict[str, Any]]:
+        self.last_sql.append(query.sql)
+        return self.backend.execute(query.sql, query.parameters)
+
+    def _restricted_group_keys(
         self,
-        relation: Relation,
+        generator: DetectionSqlGenerator,
+        cfd: CFD,
+        tids: Sequence[int],
+    ) -> List[Tuple[Any, ...]]:
+        """The LHS-value groups the restricted tuples belong to.
+
+        Fetched from the backend (NULL-LHS tuples excluded by the engine),
+        so the restricted ``Q_V`` re-checks exactly the groups a full
+        detection would have reported these tuples under.
+        """
+        keys: Dict[Tuple[Any, ...], None] = {}
+        for plan in generator.lhs_values_plans(cfd, tids):
+            for row in self._execute(plan):
+                key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                keys[key] = None
+        return list(keys)
+
+    def _assemble_singles(
+        self,
         parent: CFD,
         cfd: CFD,
-        query: Optional[SqlQuery],
+        schema: RelationSchema,
+        queries: Sequence[SqlQuery],
     ) -> List[Violation]:
-        if query is None:
-            return []
-        self.last_sql.append(query.sql)
-        rows = self.backend.execute(query.sql, query.parameters)
         rhs_attribute = cfd.rhs[0]
         # With overlapping pattern tuples the same tid can violate several
         # patterns; result order is engine-dependent, so pick the lowest
         # pattern index — the rule the native and incremental paths follow.
-        chosen: Dict[int, int] = {}
-        for row in rows:
-            tid = row["tid"]
-            pattern_index = int(row.get("pattern_id", 0))
-            if tid not in chosen or pattern_index < chosen[tid]:
-                chosen[tid] = pattern_index
+        # The rows carry the tuple's LHS values (lhs_* columns), so no
+        # working-store read is needed to label the violation.
+        chosen: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
+        for query in queries:
+            for row in self._execute(query):
+                tid = row["tid"]
+                pattern_index = int(row.get("pattern_id", 0))
+                if tid not in chosen or pattern_index < chosen[tid][0]:
+                    lhs_raw = tuple(
+                        row.get(LHS_COLUMN_PREFIX + attr) for attr in cfd.lhs
+                    )
+                    chosen[tid] = (pattern_index, lhs_raw)
         violations: List[Violation] = []
         for tid in sorted(chosen):
-            data_row = relation.get(tid)
+            pattern_index, lhs_raw = chosen[tid]
             violations.append(
                 Violation(
                     cfd_id=parent.identifier,
                     kind=SINGLE,
                     tids=(tid,),
                     rhs_attribute=rhs_attribute,
-                    pattern_index=chosen[tid],
+                    pattern_index=pattern_index,
                     lhs_attributes=cfd.lhs,
-                    lhs_values=tuple(data_row.get(attr) for attr in cfd.lhs),
+                    lhs_values=tuple(
+                        decode_backend_value(schema, attr, value)
+                        for attr, value in zip(cfd.lhs, lhs_raw)
+                    ),
                 )
             )
         return violations
 
-    def _run_multi_query(
+    def _assemble_multis(
         self,
-        relation: Relation,
+        generator: DetectionSqlGenerator,
         parent: CFD,
         cfd: CFD,
-        query: Optional[SqlQuery],
+        schema: RelationSchema,
+        tableau_name: str,
+        queries: Sequence[SqlQuery],
+        wanted: Optional[Set[int]] = None,
     ) -> List[Violation]:
-        if query is None:
-            return []
-        self.last_sql.append(query.sql)
-        rows = self.backend.execute(query.sql, query.parameters)
-        rhs_attribute = query.rhs_attribute or cfd.rhs[0]
+        rhs_attribute = cfd.rhs[0]
         # The query groups by (LHS values, pattern_id), so an LHS group
         # covered by several overlapping pattern tuples comes back once per
         # matching pattern.  Report each group exactly once, under its
         # lowest violating pattern index — the same rule the native and
-        # incremental paths apply — instead of whichever pattern the
-        # engine-dependent result order yields first.
+        # incremental paths apply.  Keys stay in the backend's value
+        # representation until the final decode, so the members plans bind
+        # exactly what the engine compares against.
         grouped: Dict[Tuple[Any, ...], int] = {}
-        for row in rows:
-            lhs_values = tuple(row[attr] for attr in cfd.lhs)
-            pattern_index = int(row.get("pattern_id", 0))
-            if lhs_values not in grouped or pattern_index < grouped[lhs_values]:
-                grouped[lhs_values] = pattern_index
+        for query in queries:
+            for row in self._execute(query):
+                lhs_values = tuple(row[attr] for attr in cfd.lhs)
+                pattern_index = int(row.get("pattern_id", 0))
+                if lhs_values not in grouped or pattern_index < grouped[lhs_values]:
+                    grouped[lhs_values] = pattern_index
+        if not grouped:
+            return []
+        members: Dict[Tuple[Any, ...], List[int]] = {}
+        for plan in generator.covering_members_plans(
+            cfd, tableau_name, rhs_attribute, list(grouped)
+        ):
+            for row in self._execute(plan):
+                key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                members.setdefault(key, []).append(row["tid"])
         violations: List[Violation] = []
         for lhs_values, pattern_index in grouped.items():
-            pattern = cfd.patterns[pattern_index]
-            tids = self._group_member_tids(
-                relation, cfd, pattern, lhs_values, rhs_attribute
-            )
+            tids = sorted(members.get(lhs_values, []))
             if len(tids) < 2:
+                continue
+            if wanted is not None and not (wanted & set(tids)):
+                # restricted detection: the group shares LHS values with a
+                # named tuple, but that tuple is not a member (e.g. NULL
+                # RHS) — a full detect + filter would not report it
                 continue
             violations.append(
                 Violation(
@@ -245,22 +416,13 @@ class ErrorDetector:
                     rhs_attribute=rhs_attribute,
                     pattern_index=pattern_index,
                     lhs_attributes=cfd.lhs,
-                    lhs_values=lhs_values,
+                    lhs_values=tuple(
+                        decode_backend_value(schema, attr, value)
+                        for attr, value in zip(cfd.lhs, lhs_values)
+                    ),
                 )
             )
         return violations
-
-    def _group_member_tids(
-        self,
-        relation: Relation,
-        cfd: CFD,
-        pattern: PatternTuple,
-        lhs_values: Tuple[Any, ...],
-        rhs_attribute: Optional[str] = None,
-    ) -> List[int]:
-        return group_member_tids(
-            relation, cfd, pattern, lhs_values, rhs_attribute or cfd.rhs[0]
-        )
 
     # -- native (non-SQL) path --------------------------------------------------------
 

@@ -21,8 +21,9 @@ affected-group re-checks:
   the incremental win).  The per-CFD pattern tableaux are materialised in
   the backend once, at construction.  The mode is *fully backend-resident*:
   the delta ``Q_C`` carries each violating tuple's LHS values, group
-  members are enumerated by a tableau-joined query
-  (:meth:`~repro.detection.sqlgen.DetectionSqlGenerator.group_members_query_delta`),
+  members are enumerated by the covering members plan
+  (:meth:`~repro.detection.sqlgen.DetectionSqlGenerator.covering_members_query`
+  — index-driven, no tableau join, shared with the batch detector),
   and :meth:`IncrementalDetector.report` assembles the violation report
   from backend rows alone — zero reads against the in-memory working
   store.  The restriction shape and the chunking of large re-checks are
@@ -56,9 +57,8 @@ from ..core.cfd import CFD
 from ..core.tableau import tableau_to_relation
 from ..engine.database import Database
 from ..engine.relation import Relation
-from ..engine.types import DataType
 from ..errors import DetectionError
-from .detector import _sub_cfd
+from .detector import _sub_cfd, decode_backend_value
 from .sqlgen import LHS_COLUMN_PREFIX, DetectionSqlGenerator
 from .violations import MULTI, SINGLE, Violation, ViolationReport
 
@@ -144,6 +144,9 @@ class IncrementalDetector:
         self.database = database
         self.relation_name = relation_name
         self.relation: Relation = database.relation(relation_name)
+        #: schema snapshot used for value decode, so report assembly never
+        #: has to touch the (possibly replaced) working-store relation
+        self._schema = self.relation.schema
         self.cfds: List[CFD] = list(cfds)
         self.mode = mode
         #: storage backend every applied update batch is shipped to as one
@@ -278,6 +281,9 @@ class IncrementalDetector:
                 f"_{index}_{unit.rhs_attribute}"
             )
             tableau = tableau_to_relation(unit.cfd, unit.tableau_name)
+            # a reused tableau name must never serve plans compiled for a
+            # previous occupant (stale-plan invalidation contract)
+            self._generator.claim_tableau(unit.tableau_name, unit.cfd)
             self._query_backend.add_relation(tableau, replace=True)
             if unit.cfd.lhs:
                 self._query_backend.ensure_index(self.relation_name, unit.cfd.lhs)
@@ -312,18 +318,8 @@ class IncrementalDetector:
         return self._query_backend.execute(sql, parameters)
 
     def _decode_value(self, attribute: str, value: Any) -> Any:
-        """Decode one backend-stored value into its engine representation.
-
-        SQLite hands back stored representations (0/1 for booleans); the
-        working store holds engine values — hash-equal, but reports must
-        show the latter.  Every other type round-trips unchanged, so this
-        is an identity on the memory backend.
-        """
-        if value is None:
-            return None
-        if self.relation.schema.attribute(attribute).dtype is DataType.BOOLEAN:
-            return bool(value)
-        return value
+        """Decode one backend-stored value (shared with the batch detector)."""
+        return decode_backend_value(self._schema, attribute, value)
 
     def _absorb_single_rows(self, unit: _WorkUnit, rows: List[Dict[str, Any]]) -> None:
         """Fold ``Q_C`` result rows into ``unit.singles`` (lowest pattern wins).
@@ -349,7 +345,7 @@ class IncrementalDetector:
         covered by several overlapping patterns comes back once per
         matching pattern; each group is kept once, under its lowest
         violating pattern index — the rule every detection path follows.
-        Group membership is enumerated by the tableau-joined members query
+        Group membership is enumerated by the covering members plan
         against the backend copy (the working store is never consulted).
         """
         cfd = unit.cfd
@@ -361,25 +357,20 @@ class IncrementalDetector:
                 grouped[lhs_values] = pattern_index
         if not grouped:
             return
-        by_pattern: Dict[int, List[Tuple[Any, ...]]] = {}
+        # Member tids per group key, keyed by the *backend's* value
+        # representation so the Q_V keys and the members keys hash
+        # identically (both come from the same backend).  Membership is a
+        # function of the key alone, so one covering-index enumeration
+        # (no tableau join) serves every pattern.
+        members: Dict[Tuple[Any, ...], List[int]] = {}
+        for plan in self._generator.covering_members_plans(
+            cfd, unit.tableau_name, unit.rhs_attribute, list(grouped)
+        ):
+            for row in self._execute_delta(plan.sql, plan.parameters):
+                key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                members.setdefault(key, []).append(row["tid"])
         for key, pattern_index in grouped.items():
-            by_pattern.setdefault(pattern_index, []).append(key)
-        # Member tids per (pattern, group key), keyed by the *backend's*
-        # value representation so the Q_V keys and the members keys hash
-        # identically (both come from the same backend).
-        members: Dict[Tuple[int, Tuple[Any, ...]], List[int]] = {}
-        for pattern_index, keys in by_pattern.items():
-            plans = self._generator.delta_plans_members(
-                cfd, unit.tableau_name, unit.rhs_attribute, pattern_index, keys
-            )
-            for plan in plans:
-                for row in self._execute_delta(plan.sql, plan.parameters):
-                    key = tuple(
-                        row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs
-                    )
-                    members.setdefault((pattern_index, key), []).append(row["tid"])
-        for key, pattern_index in grouped.items():
-            tids = members.get((pattern_index, key), [])
+            tids = members.get(key, [])
             if len(tids) < 2:
                 continue
             decoded = tuple(
@@ -621,6 +612,8 @@ class IncrementalDetector:
         for unit in self._units:
             if unit.tableau_name is None:
                 continue
+            if self._generator is not None:
+                self._generator.invalidate_plans(unit.tableau_name)
             try:
                 if self._query_backend.has_relation(unit.tableau_name):
                     self._query_backend.drop_relation(unit.tableau_name)
@@ -646,9 +639,9 @@ class IncrementalDetector:
 
         In ``sql_delta`` mode the report is assembled entirely from state
         computed off backend rows — the singles' LHS values were carried by
-        the delta ``Q_C``, group members came from the tableau-joined
-        members query, and the tuple count is the backend's — so the
-        in-memory working store is never read.
+        the delta ``Q_C``, group members came from the covering members
+        plan, and the tuple count is the backend's — so the in-memory
+        working store is never read.
         """
         self._ensure_native_state()
         backend_resident = self.mode == SQL_DELTA_MODE

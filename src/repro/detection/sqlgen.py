@@ -46,6 +46,25 @@ statement binds at most that many values, however wide the CFD's LHS is.
 The portable OR form is additionally capped at
 :attr:`~repro.backends.dialect.SqlDialect.max_or_terms` disjuncts, because
 both engines bound their expression-tree depth.
+
+Two plan-quality mechanisms sit on top of the query builders:
+
+* a *prepared-plan cache* — every built query is memoised per generator,
+  keyed by (CFD, tableau, RHS attribute, chunk shape), so the per-chunk
+  delta statements the batch and incremental detectors re-issue are
+  rendered once.  :meth:`DetectionSqlGenerator.invalidate_plans` drops the
+  plans tied to one materialised tableau; the detectors call it whenever
+  they drop or replace a ``__semandaq_*`` tableau so a re-registered CFD
+  can never reuse a stale plan;
+* a *covering members plan* (:meth:`covering_members_query`) — member
+  enumeration for violating LHS groups without the tableau join: the
+  group restriction already fixes the LHS values, and pattern-LHS
+  applicability is a function of those values alone, so the query reduces
+  to the restriction plus the non-NULL RHS guard.  Its predicates are
+  plain equalities on the LHS attributes, which lets SQLite drive the
+  probe straight off the auto-built CFD-LHS index (``_tid`` rides along
+  in every index entry) instead of scanning through the non-sargable
+  wildcard-match predicate of the tableau-joined form.
 """
 
 from __future__ import annotations
@@ -155,6 +174,73 @@ class DetectionSqlGenerator:
         self.schema = schema
         self.dialect = dialect or MEMORY_DIALECT
         self.delta_plan = delta_plan
+        #: prepared-plan cache: (kind, cfd, tableau, rhs, chunk shape) -> query.
+        #: SqlQuery is frozen, so cached plans are safe to share; entries
+        #: scoped to a tableau are dropped by :meth:`invalidate_plans`.
+        self._plan_cache: Dict[Tuple[Any, ...], Optional[SqlQuery]] = {}
+        #: tableau name -> the CFD it was last materialised for (see
+        #: :meth:`claim_tableau`)
+        self._tableau_owners: Dict[str, CFD] = {}
+        #: cache telemetry (benchmarks and tests read these)
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    # -- prepared-plan cache -----------------------------------------------------
+
+    def _cached_plan(self, key: Tuple[Any, ...], build) -> Optional[SqlQuery]:
+        """Memoise one built query under ``key`` (None results included).
+
+        ``key[2]`` is always the tableau name the plan is scoped to (or
+        ``None`` for tableau-independent plans), which is what
+        :meth:`invalidate_plans` sweeps on.
+        """
+        if key in self._plan_cache:
+            self.plan_cache_hits += 1
+            return self._plan_cache[key]
+        self.plan_cache_misses += 1
+        plan = build()
+        self._plan_cache[key] = plan
+        return plan
+
+    def invalidate_plans(self, tableau_name: Optional[str] = None) -> None:
+        """Drop cached plans scoped to ``tableau_name`` (or all of them).
+
+        The detectors call this whenever they drop or re-materialise
+        (``replace=True``) a ``__semandaq_*`` tableau: a tableau name can
+        be reused by a different CFD — e.g. the batch detector's
+        positional names, or a re-registered CFD under the same name — and
+        a plan compiled for the previous occupant (including a cached
+        "no ``Q_C`` exists" ``None``) must not survive the swap.
+        """
+        if tableau_name is None:
+            self._plan_cache.clear()
+            self._tableau_owners.clear()
+            return
+        stale = [key for key in self._plan_cache if key[2] == tableau_name]
+        for key in stale:
+            del self._plan_cache[key]
+        self._tableau_owners.pop(tableau_name, None)
+
+    def claim_tableau(self, tableau_name: str, cfd: CFD) -> None:
+        """Record that ``tableau_name`` is being (re-)materialised for ``cfd``.
+
+        Call before ``add_relation(tableau, replace=True)``.  When the name
+        last hosted a *different* CFD — the batch detector's positional
+        names get reused across ``detect`` calls, and a re-registered CFD
+        can reclaim its old name — every plan scoped to the name is
+        invalidated.  Re-materialising the *same* CFD keeps its plans: the
+        tableau content is a pure function of the CFD, so the cached SQL
+        stays valid and repeated detections reuse it.
+        """
+        owner = self._tableau_owners.get(tableau_name)
+        if owner is not None and owner == cfd:
+            return
+        self.invalidate_plans(tableau_name)
+        self._tableau_owners[tableau_name] = cfd
+
+    def plan_cache_size(self) -> int:
+        """Number of cached prepared plans (for tests and benchmarks)."""
+        return len(self._plan_cache)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -194,10 +280,13 @@ class DetectionSqlGenerator:
 
         Returns ``None`` when no pattern tuple of the CFD has a constant
         RHS.  ``include_lhs`` additionally selects the tuple's LHS values
-        (``lhs_*`` columns), which lets the incremental detector assemble
-        reports from backend rows alone.
+        (``lhs_*`` columns), which lets both detectors assemble reports
+        from backend rows alone.
         """
-        return self._single_query(cfd, tableau_name, include_lhs=include_lhs)
+        return self._cached_plan(
+            ("single", cfd, tableau_name, None, 0, include_lhs),
+            lambda: self._single_query(cfd, tableau_name, include_lhs=include_lhs),
+        )
 
     def single_tuple_query_delta(
         self, cfd: CFD, tableau_name: str, tid_count: int
@@ -213,7 +302,10 @@ class DetectionSqlGenerator:
         """
         if tid_count < 1:
             raise ValueError("tid_count must be at least 1")
-        return self._single_query(cfd, tableau_name, delta_tid_count=tid_count)
+        return self._cached_plan(
+            ("single_delta", cfd, tableau_name, None, tid_count, True),
+            lambda: self._single_query(cfd, tableau_name, delta_tid_count=tid_count),
+        )
 
     def _single_query(
         self,
@@ -270,7 +362,7 @@ class DetectionSqlGenerator:
         )
         return SqlQuery(sql, tuple(params))
 
-    def _wildcard_rhs_attributes(self, cfd: CFD) -> List[str]:
+    def wildcard_rhs_attributes(self, cfd: CFD) -> List[str]:
         """RHS attributes carrying the wildcard in at least one pattern."""
         return [
             attr
@@ -293,8 +385,11 @@ class DetectionSqlGenerator:
         if not cfd.lhs:
             return []
         return [
-            self._multi_tuple_query_for(cfd, tableau_name, attr)
-            for attr in self._wildcard_rhs_attributes(cfd)
+            self._cached_plan(
+                ("multi", cfd, tableau_name, attr, 0),
+                lambda attr=attr: self._multi_tuple_query_for(cfd, tableau_name, attr),
+            )
+            for attr in self.wildcard_rhs_attributes(cfd)
         ]
 
     def multi_tuple_query(
@@ -312,14 +407,17 @@ class DetectionSqlGenerator:
         """
         if not cfd.lhs:
             return None
-        wildcard_rhs = self._wildcard_rhs_attributes(cfd)
+        wildcard_rhs = self.wildcard_rhs_attributes(cfd)
         if not wildcard_rhs:
             return None
         if rhs_attribute is None:
             rhs_attribute = wildcard_rhs[0]
         elif rhs_attribute not in wildcard_rhs:
             return None
-        return self._multi_tuple_query_for(cfd, tableau_name, rhs_attribute)
+        return self._cached_plan(
+            ("multi", cfd, tableau_name, rhs_attribute, 0),
+            lambda: self._multi_tuple_query_for(cfd, tableau_name, rhs_attribute),
+        )
 
     def multi_tuple_query_delta(
         self,
@@ -344,8 +442,11 @@ class DetectionSqlGenerator:
             raise ValueError("delta Q_V needs a non-empty LHS")
         if group_count < 1:
             raise ValueError("group_count must be at least 1")
-        return self._multi_tuple_query_for(
-            cfd, tableau_name, rhs_attribute, delta_group_count=group_count
+        return self._cached_plan(
+            ("multi_delta", cfd, tableau_name, rhs_attribute, group_count),
+            lambda: self._multi_tuple_query_for(
+                cfd, tableau_name, rhs_attribute, delta_group_count=group_count
+            ),
         )
 
     def uses_row_values(self, cfd: CFD) -> bool:
@@ -467,20 +568,110 @@ class DetectionSqlGenerator:
             raise ValueError("the group-members query needs a non-empty LHS")
         if group_count < 1:
             raise ValueError("group_count must be at least 1")
-        params: List[Any] = []
-        conditions = self._lhs_conditions(cfd, params)
-        conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
-        conditions.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} = ?")
-        conditions.append(self._group_restriction(cfd, group_count))
-        select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
-            f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
-        ]
-        sql = (
-            f"SELECT {', '.join(select_columns)}\n"
-            f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
-            f"WHERE {' AND '.join(conditions)}"
+
+        def build() -> SqlQuery:
+            params: List[Any] = []
+            conditions = self._lhs_conditions(cfd, params)
+            conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
+            conditions.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} = ?")
+            conditions.append(self._group_restriction(cfd, group_count))
+            select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+                f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+            ]
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
+                f"WHERE {' AND '.join(conditions)}"
+            )
+            return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute)
+
+        return self._cached_plan(
+            ("members", cfd, tableau_name, rhs_attribute, group_count), build
         )
-        return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute)
+
+    def covering_members_query(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        group_count: int,
+    ) -> SqlQuery:
+        """Index-only member enumeration for violating LHS groups.
+
+        The tableau join of :meth:`group_members_query_delta` is redundant
+        once the group restriction is in place: a group key carries no
+        NULLs (the grouping queries guard every LHS attribute with ``IS
+        NOT NULL``), and whether a pattern's LHS constants match is a
+        function of the LHS values alone — so every tuple whose LHS equals
+        a violating key is applicable by construction.  Membership reduces
+        to the group restriction plus the non-NULL RHS guard, with plain
+        (typed, parameter-bound) equalities on the LHS attributes that
+        SQLite answers straight off the auto-built CFD-LHS index:
+        ``_tid`` travels in every index entry and the selected columns are
+        exactly ``_tid`` + LHS.  The pattern index is resolved by the
+        caller (it only labels the violation), so one enumeration covers
+        every pattern.
+
+        ``tableau_name`` does not appear in the SQL; it scopes the cached
+        plan to the CFD's materialised tableau for
+        :meth:`invalidate_plans`.  All placeholders are caller-bound (the
+        groups' LHS values flattened with :meth:`flatten_group_keys`).
+        """
+        if not cfd.lhs:
+            raise ValueError("the covering members query needs a non-empty LHS")
+        if group_count < 1:
+            raise ValueError("group_count must be at least 1")
+
+        def build() -> SqlQuery:
+            conditions = [
+                self._group_restriction(cfd, group_count),
+                f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL",
+            ]
+            select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+                f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+            ]
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(conditions)}"
+            )
+            return SqlQuery(sql, (), rhs_attribute=rhs_attribute)
+
+        return self._cached_plan(
+            ("covering", cfd, tableau_name, rhs_attribute, group_count), build
+        )
+
+    def tid_lhs_query(self, cfd: CFD, tid_count: int) -> SqlQuery:
+        """The LHS values of ``tid_count`` tuples, NULL-LHS tuples excluded.
+
+        ``detect_for_tuples`` uses this to derive the affected LHS-value
+        groups of a restricted detection without reading the working
+        store: rows come back as ``(tid, lhs_*)``, and tuples carrying a
+        NULL LHS cell are filtered by the engine (they belong to no group
+        on any detection path).  All placeholders are caller-bound (the
+        tids); the plan is tableau-independent, so it survives tableau
+        re-materialisation.
+        """
+        if not cfd.lhs:
+            raise ValueError("the tid-LHS query needs a non-empty LHS")
+        if tid_count < 1:
+            raise ValueError("tid_count must be at least 1")
+
+        def build() -> SqlQuery:
+            conditions = [f"{DATA_ALIAS}.{attr} IS NOT NULL" for attr in cfd.lhs]
+            placeholders = ", ".join("?" for _ in range(tid_count))
+            conditions.append(f"{DATA_ALIAS}._tid IN ({placeholders})")
+            select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+                f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+            ]
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(conditions)}"
+            )
+            return SqlQuery(sql)
+
+        return self._cached_plan(("tid_lhs", cfd, None, None, tid_count), build)
 
     # -- budget-chunked delta plans ------------------------------------------------
 
@@ -517,6 +708,26 @@ class DetectionSqlGenerator:
         for start in range(0, len(items), size):
             yield items[start : start + size]
 
+    def _padded(self, chunk: Sequence[Any], cap: Optional[int]) -> List[Any]:
+        """Pad a restriction chunk to a power-of-two length (up to ``cap``).
+
+        Every restriction shape is a pure predicate (``IN`` lists, row-value
+        semi-joins, OR chains), so repeating the last item changes nothing
+        semantically — but it quantises the per-statement item count, which
+        bounds the prepared-plan cache to O(log budget) entries per (kind,
+        CFD) instead of one entry per distinct restriction size, and lets
+        the backend's own statement cache hit on the recurring shapes.
+        """
+        target = 1
+        while target < len(chunk):
+            target <<= 1
+        if cap is not None:
+            target = min(target, cap)
+        padded = list(chunk)
+        if target > len(padded):
+            padded.extend(padded[-1] for _ in range(target - len(padded)))
+        return padded
+
     def delta_plans_single(
         self, cfd: CFD, tableau_name: str, tids: Sequence[int]
     ) -> List[SqlQuery]:
@@ -533,6 +744,7 @@ class DetectionSqlGenerator:
         size = self._chunk_size(len(probe.parameters), 1, or_form=False)
         plans: List[SqlQuery] = []
         for chunk in self._chunked(list(tids), size):
+            chunk = self._padded(chunk, size)
             query = self.single_tuple_query_delta(cfd, tableau_name, len(chunk))
             plans.append(
                 SqlQuery(query.sql, tuple(query.parameters) + tuple(chunk))
@@ -562,6 +774,7 @@ class DetectionSqlGenerator:
         )
         plans: List[SqlQuery] = []
         for chunk in self._chunked(list(keys), size):
+            chunk = self._padded(chunk, size)
             query = self.multi_tuple_query_delta(
                 cfd, tableau_name, rhs_attribute, len(chunk)
             )
@@ -593,6 +806,7 @@ class DetectionSqlGenerator:
         )
         plans: List[SqlQuery] = []
         for chunk in self._chunked(list(keys), size):
+            chunk = self._padded(chunk, size)
             query = self.group_members_query_delta(
                 cfd, tableau_name, rhs_attribute, len(chunk)
             )
@@ -604,6 +818,61 @@ class DetectionSqlGenerator:
                     rhs_attribute=rhs_attribute,
                 )
             )
+        return plans
+
+    def covering_members_plans(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        keys: Sequence[Tuple[Any, ...]],
+    ) -> List[SqlQuery]:
+        """Fully-bound covering member enumerations for every group in ``keys``.
+
+        The pattern-independent, index-driven counterpart of
+        :meth:`delta_plans_members`: each statement covers a budget-sized
+        chunk of ``keys``; rows come back as ``(tid, lhs_*)`` and the
+        caller buckets them per group key.
+        """
+        if not keys:
+            return []
+        size = self._chunk_size(
+            0,  # the covering query binds nothing besides the keys
+            len(cfd.lhs) * self._key_binds(cfd),
+            or_form=not self._flat_restriction(cfd),
+        )
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(keys), size):
+            chunk = self._padded(chunk, size)
+            query = self.covering_members_query(
+                cfd, tableau_name, rhs_attribute, len(chunk)
+            )
+            plans.append(
+                SqlQuery(
+                    query.sql,
+                    self.flatten_group_keys(cfd, chunk),
+                    rhs_attribute=rhs_attribute,
+                )
+            )
+        return plans
+
+    def lhs_values_plans(
+        self, cfd: CFD, tids: Sequence[int]
+    ) -> List[SqlQuery]:
+        """Fully-bound tid-LHS lookups covering every tid in ``tids``.
+
+        Chunked by the dialect's parameter budget (a flat tid ``IN`` list
+        is one expression node on both engines); empty when ``tids`` is
+        empty or the CFD has no LHS.
+        """
+        if not tids or not cfd.lhs:
+            return []
+        size = self._chunk_size(0, 1, or_form=False)
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(tids), size):
+            chunk = self._padded(chunk, size)
+            query = self.tid_lhs_query(cfd, len(chunk))
+            plans.append(SqlQuery(query.sql, tuple(chunk)))
         return plans
 
     def _flat_restriction(self, cfd: CFD) -> bool:

@@ -236,6 +236,21 @@ class Semandaq:
         self._reports[relation_name] = report
         return report
 
+    def detect_for_tuples(
+        self, relation_name: str, tids: Iterable[int]
+    ) -> ViolationReport:
+        """Violations involving any tuple in ``tids`` (restricted detection).
+
+        On the SQL path the restriction is pushed down to the storage
+        backend (delta ``Q_C``/``Q_V`` plans over the named tids and their
+        LHS-value groups) instead of filtering a full detection report.
+        The result is partial by construction, so it is *not* cached as
+        the relation's last report.
+        """
+        self._sync_backend_if_stale(relation_name)
+        cfds = self.constraints.cfds(relation_name)
+        return self.detector.detect_for_tuples(relation_name, cfds, tids)
+
     def last_report(self, relation_name: str) -> ViolationReport:
         """The most recent detection report for ``relation_name`` (detects if missing)."""
         if relation_name not in self._reports:

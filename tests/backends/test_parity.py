@@ -13,6 +13,8 @@ this suite against a tmp-path database file instead of ``:memory:`` (see
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import Semandaq, SemandaqConfig
 from repro.backends import MemoryBackend, SqliteBackend
@@ -311,6 +313,86 @@ class TestNullCellParity:
         # exactly the non-NULL group violates the FD part; the NULL-RHS
         # tuple under the constant pattern is a single-tuple violation
         assert by_kind == {("multi", ("x", "1")), ("single", ("w", "3"))}
+
+
+class TestFivePathProperty:
+    """Randomised five-path equivalence: batch-native, batch-SQL on both
+    backends, incremental-native and ``sql_delta`` must produce identical
+    reports on random relations (NULL cells included) against random
+    tableaux (overlapping patterns and multi-wildcard RHS included)."""
+
+    attrs = ("A", "B", "C", "D")
+    cell = st.sampled_from(["a", "b", None])
+    pattern_cell = st.sampled_from(["_", "a", "b"])
+
+    def _draw_cfds(self, data):
+        cfds = []
+        for index in range(data.draw(st.integers(min_value=1, max_value=2))):
+            lhs = tuple(
+                data.draw(
+                    st.lists(
+                        st.sampled_from(self.attrs),
+                        min_size=1,
+                        max_size=2,
+                        unique=True,
+                    )
+                )
+            )
+            remaining = [attr for attr in self.attrs if attr not in lhs]
+            rhs = tuple(
+                data.draw(
+                    st.lists(
+                        st.sampled_from(remaining),
+                        min_size=1,
+                        max_size=2,
+                        unique=True,
+                    )
+                )
+            )
+            patterns = tuple(
+                PatternTuple.of(
+                    {attr: data.draw(self.pattern_cell) for attr in lhs + rhs}
+                )
+                for _ in range(data.draw(st.integers(min_value=1, max_value=2)))
+            )
+            cfds.append(
+                CFD(
+                    relation="r",
+                    lhs=lhs,
+                    rhs=rhs,
+                    patterns=patterns,
+                    name=f"phi_{index}",
+                )
+            )
+        return cfds
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_random_relations_and_tableaux_agree_on_all_paths(self, data):
+        rows = data.draw(
+            st.lists(
+                st.fixed_dictionaries({attr: self.cell for attr in self.attrs}),
+                min_size=0,
+                max_size=8,
+            )
+        )
+        relation = Relation.from_rows(
+            RelationSchema.of("r", list(self.attrs)), rows
+        )
+        cfds = self._draw_cfds(data)
+        # plain :memory: backends (no fixture: hypothesis re-runs the body
+        # many times per test invocation)
+        reports = _all_path_reports(relation, cfds, SqliteBackend)
+        keys = {name: _violation_keys(report) for name, report in reports.items()}
+        assert (
+            keys["native"]
+            == keys["memory_sql"]
+            == keys["sqlite_sql"]
+            == keys["incremental"]
+            == keys["sql_delta"]
+        )
+        counts = {report.tuple_count for report in reports.values()}
+        assert counts == {len(relation)}
 
 
 class TestSqliteEndToEnd:

@@ -32,6 +32,7 @@ from repro.engine.database import Database
 from repro.engine.relation import Relation
 from repro.engine.types import RelationSchema
 from repro.errors import DetectionError
+from tests.doubles import ForbiddenRelation
 from tests.tableaux import NULL_CELL_CFD, ROW_VALUE_SKIP_REASON, null_cell_relation
 
 
@@ -412,21 +413,7 @@ class TestParameterBudget:
 class TestBackendResidentAssembly:
     """sql_delta report assembly must never read the working store."""
 
-    class _ForbiddenRelation:
-        """A stand-in that fails the test on any working-store access."""
-
-        def __init__(self, name):
-            self._name = name
-
-        def __getattr__(self, attribute):
-            raise AssertionError(
-                f"report assembly read working store: {self._name}.{attribute}"
-            )
-
-        def __len__(self):
-            raise AssertionError(
-                f"report assembly read working store: len({self._name})"
-            )
+    _ForbiddenRelation = ForbiddenRelation
 
     def test_report_reads_zero_working_store(self, backend_kind):
         relation = generate_customers(60, seed=101)

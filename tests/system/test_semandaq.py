@@ -57,6 +57,24 @@ class TestDetectAuditExplore:
         session = system.exploration_session("customer")
         assert session.level == "cfd"
 
+    def test_detect_for_tuples_facade(self, system):
+        full = system.detect("customer")
+        restricted = system.detect_for_tuples("customer", [4])
+        assert restricted.total_violations() >= 1
+        assert all(4 in violation.tids for violation in restricted.violations)
+        assert restricted.tuple_count == full.tuple_count
+        # the partial report must not displace the cached full report
+        assert system.last_report("customer") is full
+
+    def test_detect_for_tuples_facade_on_sqlite(self, customer_relation, customer_cfds):
+        semandaq = Semandaq(SemandaqConfig(backend="sqlite"))
+        semandaq.register_relation(customer_relation)
+        semandaq.add_cfds(customer_cfds)
+        restricted = semandaq.detect_for_tuples("customer", [4])
+        assert restricted.total_violations() >= 1
+        assert all(4 in violation.tids for violation in restricted.violations)
+        semandaq.close()
+
     def test_native_detection_configuration(self, customer_relation, customer_cfds):
         semandaq = Semandaq(SemandaqConfig(use_sql_detection=False))
         semandaq.register_relation(customer_relation)
