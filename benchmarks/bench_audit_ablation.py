@@ -9,7 +9,7 @@ Two choices DESIGN.md calls out:
 
 import pytest
 
-from bench_utils import make_dirty_customers, make_database
+from bench_utils import emit_bench_json, make_dirty_customers, make_database, report_series, timed
 from repro.audit.quality_map import build_quality_map
 from repro.audit.report import DataAuditor
 from repro.datasets import paper_cfds
@@ -49,3 +49,23 @@ def test_quality_map_bucketing_strategies(benchmark, strategy):
     benchmark.extra_info["strategy"] = strategy
     benchmark.extra_info["histogram"] = quality_map.histogram()
     assert sum(quality_map.histogram().values()) == SIZE
+
+
+def test_audit_ablation_bench_json():
+    """Timed reuse-vs-redetect summary, persisted to the trajectory."""
+    auditor = DataAuditor()
+    result, reuse_ms = timed(auditor.audit, _RELATION, _CFDS, _REPORT)
+
+    def redetect_and_audit():
+        report = ErrorDetector(_DATABASE, use_sql=False).detect("customer", _CFDS)
+        return auditor.audit(_RELATION, _CFDS, report)
+
+    _, redetect_ms = timed(redetect_and_audit)
+    rows = [
+        {"path": "reuse_report", "audit_ms": round(reuse_ms, 3),
+         "dirty_pct": round(result.dirty_percentage(), 2)},
+        {"path": "redetect", "audit_ms": round(redetect_ms, 3),
+         "dirty_pct": round(result.dirty_percentage(), 2)},
+    ]
+    report_series("AUDIT-ABL summary", rows)
+    emit_bench_json("AUDIT-ABL", rows)

@@ -13,7 +13,7 @@ round detects on an already-loaded backend, mirroring a resident database.
 
 import pytest
 
-from bench_utils import make_dirty_customers, report_series
+from bench_utils import emit_bench_json, make_dirty_customers, report_series, timed
 from repro.backends import create_backend
 from repro.datasets import paper_cfds
 from repro.detection.detector import ErrorDetector
@@ -50,10 +50,12 @@ def test_backends_agree_at_every_size():
     rows = []
     for size in SIZES:
         reports = {}
+        timings = {}
         for backend_name in ("memory", "sqlite"):
             backend = _loaded_backend(backend_name, size)
-            reports[backend_name] = ErrorDetector(backend, use_sql=True).detect(
-                "customer", _CFDS
+            detector = ErrorDetector(backend, use_sql=True)
+            reports[backend_name], timings[backend_name] = timed(
+                detector.detect, "customer", _CFDS
             )
             backend.close()
         assert reports["memory"].vio() == reports["sqlite"].vio()
@@ -62,6 +64,9 @@ def test_backends_agree_at_every_size():
                 "rows": size,
                 "violations": reports["sqlite"].total_violations(),
                 "dirty_tuples": len(reports["sqlite"].dirty_tids()),
+                "memory_ms": round(timings["memory"], 3),
+                "sqlite_ms": round(timings["sqlite"], 3),
             }
         )
     report_series("BACKEND-CMP parity", rows)
+    emit_bench_json("BACKEND-CMP", rows)

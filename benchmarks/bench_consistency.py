@@ -8,6 +8,7 @@ of registered CFDs grows, and the cost of diagnosing an inconsistent set
 
 import pytest
 
+from bench_utils import emit_bench_json, report_series, timed
 from repro.analysis.consistency import check_consistency
 from repro.core.parser import parse_cfd
 from repro.datasets import paper_cfds
@@ -44,3 +45,15 @@ def test_inconsistent_set_diagnosis(benchmark):
     benchmark.extra_info["conflict_core"] = result.conflict
     assert not result.consistent
     assert result.conflict and len(result.conflict) <= 3
+
+
+def test_consistency_bench_json():
+    """Timed witness-search summary over the CFD-count sweep."""
+    rows = []
+    for cfd_count in (4, 16, 64):
+        cfds = (paper_cfds() + constant_bindings(cfd_count))[:cfd_count]
+        result, check_ms = timed(check_consistency, cfds)
+        assert result.consistent
+        rows.append({"cfds": cfd_count, "check_ms": round(check_ms, 3)})
+    report_series("CONS-CHECK summary", rows)
+    emit_bench_json("CONS-CHECK", rows)

@@ -9,7 +9,7 @@ checks.
 
 import pytest
 
-from bench_utils import make_dirty_customers, make_system
+from bench_utils import emit_bench_json, make_dirty_customers, make_system, report_series, timed
 from repro.core.parser import parse_cfd
 from repro.datasets import paper_cfds
 
@@ -55,3 +55,22 @@ def test_detection_vs_number_of_cfds(benchmark, cfd_count):
     benchmark.extra_info["cfds"] = cfd_count
     benchmark.extra_info["violations"] = report.total_violations()
     assert len(report.cfd_ids) == cfd_count
+
+
+def test_detection_scaling_bench_json():
+    """Timed size sweep (fixed 4 CFDs), persisted to the trajectory."""
+    rows = []
+    for size in (200, 800):
+        _clean, noise = make_dirty_customers(size, rate=0.03, seed=size)
+        system = make_system(noise.dirty)
+        report, detect_ms = timed(detect, system)
+        assert report.tuple_count == size
+        rows.append(
+            {
+                "size": size,
+                "detect_ms": round(detect_ms, 3),
+                "violations": report.total_violations(),
+            }
+        )
+    report_series("DET-SCALE summary", rows)
+    emit_bench_json("DET-SCALE", rows)

@@ -7,6 +7,7 @@ rules and variable CFDs are found, and how long discovery takes.
 
 import pytest
 
+from bench_utils import emit_bench_json, report_series, timed
 from repro.datasets import generate_customers
 from repro.discovery.cfdminer import ConstantCfdMiner
 from repro.discovery.ctane import VariableCfdDiscoverer
@@ -35,3 +36,22 @@ def test_variable_discovery_vs_support(benchmark, min_support):
     benchmark.extra_info["cfds_found"] = len(discovered)
     fds = {(item.cfd.lhs, item.cfd.rhs) for item in discovered if not item.conditional}
     assert (("CC",), ("CNT",)) in fds
+
+
+def test_discovery_bench_json():
+    """Timed constant-rule mining sweep, persisted to the trajectory."""
+    rows = []
+    for min_support in (5, 20, 80):
+        miner = ConstantCfdMiner(
+            min_support=min_support, min_confidence=1.0, max_lhs_size=1
+        )
+        rules, mine_ms = timed(miner.mine, REFERENCE)
+        rows.append(
+            {
+                "min_support": min_support,
+                "mine_ms": round(mine_ms, 3),
+                "rules_found": len(rules),
+            }
+        )
+    report_series("DISC summary", rows)
+    emit_bench_json("DISC", rows)

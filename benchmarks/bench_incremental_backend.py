@@ -20,7 +20,7 @@ import os
 
 import pytest
 
-from bench_utils import make_dirty_customers, report_series
+from bench_utils import emit_bench_json, make_dirty_customers, report_series, timed
 from repro import Semandaq, SemandaqConfig
 from repro.backends import SqliteBackend
 from repro.datasets import paper_cfds
@@ -81,14 +81,15 @@ def test_delta_synced_detection_matches_full_resync():
         relation = system.database.relation("customer")
         template = relation.get(relation.tids()[0])
         monitor = system.monitor("customer")
-        monitor.apply_batch(
+        _, apply_ms = timed(
+            monitor.apply_batch,
             [
                 Update.insert(dict(template, STR="A Brand New Street")),
                 Update.modify(relation.tids()[1], {"CNT": "Narnia"}),
                 Update.delete(relation.tids()[2]),
-            ]
+            ],
         )
-        delta_report = system.detect("customer")
+        delta_report, detect_ms = timed(system.detect, "customer")
         assert system.full_sync_count == 1  # registration only
 
         oracle_backend = SqliteBackend()
@@ -105,7 +106,10 @@ def test_delta_synced_detection_matches_full_resync():
                 "violations": delta_report.total_violations(),
                 "full_syncs": system.full_sync_count,
                 "delta_statements": len(system.monitor("customer").log),
+                "apply_batch_ms": round(apply_ms, 3),
+                "detect_ms": round(detect_ms, 3),
             }
         )
         system.close()
     report_series("INCR-SYNC parity", rows)
+    emit_bench_json("INCR-SYNC", rows)

@@ -8,7 +8,7 @@ benchmark reports both wall time and the ``tuples_examined`` work counter.
 
 import pytest
 
-from bench_utils import make_dirty_customers, make_database, report_series
+from bench_utils import emit_bench_json, make_dirty_customers, make_database, report_series
 from repro.datasets import paper_cfds
 from repro.detection.detector import ErrorDetector
 from repro.detection.incremental import IncrementalDetector
@@ -76,5 +76,6 @@ def test_incremental_work_is_local():
             }
         )
     report_series("DET-INCR incremental vs batch work", rows)
+    emit_bench_json("DET-INCR", rows)
     assert rows[0]["incremental_wins"]
     assert rows[0]["incremental_examinations"] < rows[-1]["incremental_examinations"]

@@ -8,6 +8,7 @@ previously cleansed data.
 
 import pytest
 
+from bench_utils import emit_bench_json, report_series, timed
 from repro.datasets import generate_customers, paper_cfds
 from repro.repair.incremental import IncrementalRepairer
 from repro.repair.repairer import BatchRepairer
@@ -62,3 +63,30 @@ def test_full_rerepair_baseline(benchmark):
     repair = benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["cells_changed"] = len(repair.changes)
     assert len(repair.changes) > 0
+
+
+def test_incremental_repair_bench_json():
+    """Timed IncRepair-vs-full summary (10-row batch), persisted."""
+    cfds = paper_cfds()
+
+    def incremental():
+        relation = generate_customers(RELATION_SIZE, seed=55)
+        batch = corrupted_batch(relation, 10)
+        return IncrementalRepairer().insert_and_repair(relation, cfds, batch)[1]
+
+    def full():
+        relation = generate_customers(RELATION_SIZE, seed=55)
+        for row in corrupted_batch(relation, 10):
+            relation.insert(row)
+        return BatchRepairer().repair(relation, cfds)
+
+    inc_repair, inc_ms = timed(incremental)
+    full_repair, full_ms = timed(full)
+    rows = [
+        {"path": "incremental", "batch_size": 10, "repair_ms": round(inc_ms, 3),
+         "cells_changed": len(inc_repair.changes)},
+        {"path": "full_rerepair", "batch_size": 10, "repair_ms": round(full_ms, 3),
+         "cells_changed": len(full_repair.changes)},
+    ]
+    report_series("REP-INCR summary", rows)
+    emit_bench_json("REP-INCR", rows)

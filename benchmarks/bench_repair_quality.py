@@ -8,7 +8,7 @@ recall are measured exactly.
 
 import pytest
 
-from bench_utils import make_dirty_customers, report_series
+from bench_utils import emit_bench_json, make_dirty_customers, report_series, timed
 from repro.datasets import paper_cfds
 from repro.repair.repairer import BatchRepairer, repair_quality
 
@@ -63,3 +63,24 @@ def test_repair_quality_swap_only_errors(benchmark):
     benchmark.extra_info["precision"] = round(quality["precision"], 3)
     benchmark.extra_info["recall"] = round(quality["recall"], 3)
     assert quality["precision"] >= 0.5
+
+
+def test_repair_quality_bench_json():
+    """Precision/recall/F1 at two noise rates, persisted to the trajectory."""
+    rows = []
+    for rate in (0.02, 0.08):
+        clean, noise = make_dirty_customers(400, rate=rate, seed=int(rate * 1000) + 3)
+        repair, repair_ms = timed(run_repair, noise.dirty, paper_cfds())
+        quality = repair_quality(repair, clean, noise.dirty)
+        rows.append(
+            {
+                "noise_rate": rate,
+                "precision": round(quality["precision"], 3),
+                "recall": round(quality["recall"], 3),
+                "f1": round(quality["f1"], 3),
+                "repair_ms": round(repair_ms, 3),
+                "residual_violations": repair.residual_violations,
+            }
+        )
+    report_series("REP-QUALITY summary", rows)
+    emit_bench_json("REP-QUALITY", rows)

@@ -7,7 +7,7 @@ series so the growth shape can be compared.
 
 import pytest
 
-from bench_utils import make_dirty_customers
+from bench_utils import emit_bench_json, make_dirty_customers, report_series, timed
 from repro.datasets import paper_cfds
 from repro.repair.repairer import BatchRepairer
 
@@ -35,3 +35,21 @@ def test_repair_time_vs_noise(benchmark, rate):
     benchmark.extra_info["noise_rate"] = rate
     benchmark.extra_info["cells_changed"] = len(repair.changes)
     assert len(repair.changes) >= 0
+
+
+def test_repair_scaling_bench_json():
+    """Timed size sweep at 4% noise, persisted to the trajectory."""
+    rows = []
+    for size in (200, 400):
+        _clean, noise = make_dirty_customers(size, rate=0.04, seed=size + 1)
+        repair, repair_ms = timed(run_repair, noise.dirty)
+        rows.append(
+            {
+                "size": size,
+                "repair_ms": round(repair_ms, 3),
+                "cells_changed": len(repair.changes),
+                "iterations": repair.iterations,
+            }
+        )
+    report_series("REP-SCALE summary", rows)
+    emit_bench_json("REP-SCALE", rows)

@@ -30,7 +30,7 @@ import time
 
 import pytest
 
-from bench_utils import report_series
+from bench_utils import emit_bench_json, report_series
 from repro.backends import SqliteBackend
 from repro.backends.dialect import sqlite_row_values_supported
 from repro.core.cfd import CFD
@@ -172,3 +172,8 @@ def test_plans_agree_with_native():
             }
         )
     report_series("SQL-DELTA-PLANS", rows)
+    emit_bench_json(
+        "SQL-DELTA-PLANS",
+        rows,
+        metrics={"row_values_supported": int(sqlite_row_values_supported())},
+    )

@@ -9,7 +9,7 @@ while the native path exploits in-memory indexes directly.
 
 import pytest
 
-from bench_utils import make_dirty_customers, make_database
+from bench_utils import emit_bench_json, make_dirty_customers, make_database, report_series, timed
 from repro.datasets import paper_cfds
 from repro.detection.detector import ErrorDetector
 
@@ -31,7 +31,17 @@ def test_detection_sql_vs_native(benchmark, use_sql):
 def test_sql_and_native_agree():
     """Both paths compute identical vio(t) maps — the ablation's sanity check."""
     database = make_database(_noise.dirty.copy())
-    sql_report = ErrorDetector(database, use_sql=True).detect("customer", _CFDS)
-    native_report = ErrorDetector(database, use_sql=False).detect("customer", _CFDS)
+    sql_detector = ErrorDetector(database, use_sql=True)
+    native_detector = ErrorDetector(database, use_sql=False)
+    sql_report, sql_ms = timed(sql_detector.detect, "customer", _CFDS)
+    native_report, native_ms = timed(native_detector.detect, "customer", _CFDS)
     assert sql_report.vio() == native_report.vio()
     assert sql_report.dirty_tids() == native_report.dirty_tids()
+    rows = [
+        {"path": "sql", "rows": SIZE, "detect_ms": round(sql_ms, 3),
+         "violations": sql_report.total_violations()},
+        {"path": "native", "rows": SIZE, "detect_ms": round(native_ms, 3),
+         "violations": native_report.total_violations()},
+    ]
+    report_series("SQL-NATIVE summary", rows)
+    emit_bench_json("SQL-NATIVE", rows)

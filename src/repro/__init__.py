@@ -17,6 +17,9 @@ VLDB 2008) as a Python library:
 * :mod:`repro.repair` — the cost-based heuristic cleanser and incremental repair;
 * :mod:`repro.discovery` — CFD discovery from reference data;
 * :mod:`repro.monitor` — the data monitor;
+* :mod:`repro.obs` — the telemetry layer (spans, statement metrics, query
+  plans, ``BENCH_*.json`` emission), enabled with
+  ``SemandaqConfig(telemetry=True)``;
 * :mod:`repro.explorer` — drill-down exploration and text rendering;
 * :mod:`repro.system` — the :class:`~repro.system.semandaq.Semandaq` facade;
 * :mod:`repro.datasets` — synthetic workloads with seeded error injection.
@@ -37,6 +40,13 @@ Quickstart::
     repair = system.repair("customer")
 """
 
+import logging as _logging
+
+# Library convention: never emit log records unless the application asks.
+# Statement logging (SemandaqConfig(log_sql=True)) records at DEBUG on
+# child loggers; attach a handler to "repro" to see it.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
 from .backends import (
     DeltaBatch,
     MemoryBackend,
@@ -55,6 +65,7 @@ from .engine.database import Database
 from .engine.relation import Relation
 from .engine.types import AttributeDef, DataType, RelationSchema
 from .errors import SemandaqError
+from .obs import Telemetry
 from .repair.cost import CostModel
 from .repair.repairer import BatchRepairer, Repair
 from .system.config import SemandaqConfig
@@ -90,5 +101,6 @@ __all__ = [
     "Semandaq",
     "SemandaqConfig",
     "SemandaqError",
+    "Telemetry",
     "__version__",
 ]

@@ -198,6 +198,20 @@ class StorageBackend(abc.ABC):
         grouping queries, mirroring the paper's reliance on DBMS indexes.
         """
 
+    def explain_query_plan(
+        self, sql: str, parameters: Optional[Sequence[Any]] = None
+    ) -> Optional[List[Dict[str, Any]]]:
+        """The backend's query plan for ``sql``, as plain row dicts.
+
+        Backends without plan introspection return ``None`` (the base
+        behaviour); the telemetry layer's ``explain_plans`` mode records
+        nothing for them.  SQLite returns its ``EXPLAIN QUERY PLAN`` rows,
+        whose ``detail`` text names the indexes driving each step — which
+        is what turns "the covering-members query rides the CFD-LHS
+        index" from prose into a testable property.
+        """
+        return None
+
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:

@@ -56,6 +56,10 @@ class DeltaBatch:
     #: tid -> (kind, payload); payload is the row for inserts/replaces, the
     #: change mapping for updates, ``None`` for deletes
     _ops: Dict[int, Tuple[str, Any]] = field(default_factory=dict)
+    #: operations recorded into the batch before coalescing; compared with
+    #: :attr:`statement_count` this is the coalescing win the telemetry
+    #: layer surfaces (ops recorded vs ops shipped)
+    ops_recorded: int = 0
 
     # -- recording -------------------------------------------------------------
 
@@ -68,6 +72,7 @@ class DeltaBatch:
             self._ops[tid] = (_REPLACE, dict(row))
         else:
             raise BackendError(f"tid {tid} is already live in this batch")
+        self.ops_recorded += 1
 
     def record_update(self, tid: int, changes: Mapping[str, Any]) -> None:
         """Record a cell-value update of the tuple under ``tid``."""
@@ -82,6 +87,7 @@ class DeltaBatch:
             self._ops[tid] = (_UPDATE, {**payload, **changes})
         else:
             raise BackendError(f"tid {tid} was deleted earlier in this batch")
+        self.ops_recorded += 1
 
     def record_delete(self, tid: int) -> None:
         """Record the deletion of the tuple under ``tid``."""
@@ -92,6 +98,7 @@ class DeltaBatch:
             self._ops[tid] = (_DELETE, None)
         else:
             raise BackendError(f"tid {tid} was already deleted in this batch")
+        self.ops_recorded += 1
 
     # -- grouped views ---------------------------------------------------------
 

@@ -452,6 +452,25 @@ class SqliteBackend(StorageBackend):
             self._conn.commit()
         return rows
 
+    def explain_query_plan(
+        self, sql: str, parameters: Optional[Sequence[Any]] = None
+    ) -> Optional[List[Dict[str, Any]]]:
+        """SQLite's ``EXPLAIN QUERY PLAN`` rows for ``sql``.
+
+        The statement is prepared with the same bound parameters the real
+        execution would use, so the reported plan is the one the engine
+        actually picks.  Returns ``None`` when the engine cannot explain
+        the statement (e.g. DDL), keeping the base-contract semantics of
+        "no plan available".
+        """
+        try:
+            cursor = self._conn.execute(
+                "EXPLAIN QUERY PLAN " + sql, tuple(parameters or ())
+            )
+        except sqlite3.Error:
+            return None
+        return [dict(row) for row in cursor.fetchall()]
+
     def ensure_index(self, name: str, attributes: Sequence[str]) -> None:
         schema = self._require(name)
         for attr in attributes:

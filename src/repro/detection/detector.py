@@ -46,6 +46,8 @@ from ..engine.database import Database
 from ..engine.relation import Relation
 from ..engine.types import DataType, RelationSchema
 from ..errors import DetectionError
+from ..obs.instrument import InstrumentedBackend
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .sqlgen import (
     LHS_COLUMN_PREFIX,
     DetectionSqlGenerator,
@@ -90,12 +92,22 @@ class ErrorDetector:
     """Detects single-tuple and multi-tuple CFD violations in a relation."""
 
     def __init__(
-        self, database: Union[Database, StorageBackend], use_sql: bool = True
+        self,
+        database: Union[Database, StorageBackend],
+        use_sql: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ):
+        #: telemetry context statements and spans are recorded under; the
+        #: shared disabled default costs one attribute check per call site
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if isinstance(database, StorageBackend):
             self.backend = database
         else:
             self.backend = MemoryBackend(database)
+        if self.telemetry.active and not isinstance(
+            self.backend, InstrumentedBackend
+        ):
+            self.backend = InstrumentedBackend(self.backend, self.telemetry)
         #: the wrapped in-memory database, when the backend exposes one
         self.database = getattr(self.backend, "database", None)
         self.use_sql = use_sql
@@ -108,6 +120,12 @@ class ErrorDetector:
 
     def detect(self, relation_name: str, cfds: Sequence[CFD]) -> ViolationReport:
         """Run detection of every CFD in ``cfds`` over ``relation_name``."""
+        with self.telemetry.span(
+            "detect", relation=relation_name, cfds=len(cfds)
+        ):
+            return self._detect(relation_name, cfds)
+
+    def _detect(self, relation_name: str, cfds: Sequence[CFD]) -> ViolationReport:
         self.last_sql = []
         if self.use_sql:
             schema, tuple_count = self._sql_preamble(relation_name, cfds)
@@ -144,6 +162,14 @@ class ErrorDetector:
         to ``tids`` would produce.  The native path keeps the
         filter-after-detect evaluation as the oracle.
         """
+        with self.telemetry.span(
+            "detect_for_tuples", relation=relation_name, cfds=len(cfds)
+        ):
+            return self._detect_for_tuples(relation_name, cfds, tids)
+
+    def _detect_for_tuples(
+        self, relation_name: str, cfds: Sequence[CFD], tids: Iterable[int]
+    ) -> ViolationReport:
         wanted = set(tids)
         if not self.use_sql:
             report = self.detect(relation_name, cfds)
@@ -243,7 +269,9 @@ class ErrorDetector:
         """
         generator = self._generators.get(relation_name)
         if generator is None or generator.schema != schema:
-            generator = DetectionSqlGenerator(schema, dialect=self.backend.dialect)
+            generator = DetectionSqlGenerator(
+                schema, dialect=self.backend.dialect, telemetry=self.telemetry
+            )
             self._generators[relation_name] = generator
         return generator
 
@@ -301,7 +329,12 @@ class ErrorDetector:
 
     def _execute(self, query: SqlQuery) -> List[Dict[str, Any]]:
         self.last_sql.append(query.sql)
-        return self.backend.execute(query.sql, query.parameters)
+        if not self.telemetry.active:
+            return self.backend.execute(query.sql, query.parameters)
+        # announce the generator's statement kind so the instrumented
+        # backend buckets the execution under it (q_c, delta_multi, ...)
+        with self.telemetry.tag_statements(query.kind):
+            return self.backend.execute(query.sql, query.parameters)
 
     def _restricted_group_keys(
         self,

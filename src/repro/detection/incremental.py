@@ -58,8 +58,10 @@ from ..core.tableau import tableau_to_relation
 from ..engine.database import Database
 from ..engine.relation import Relation
 from ..errors import DetectionError
+from ..obs.instrument import InstrumentedBackend
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .detector import _sub_cfd, decode_backend_value
-from .sqlgen import LHS_COLUMN_PREFIX, DetectionSqlGenerator
+from .sqlgen import LHS_COLUMN_PREFIX, DetectionSqlGenerator, SqlQuery
 from .violations import MULTI, SINGLE, Violation, ViolationReport
 
 #: evaluation mode maintaining group state in Python (the original path)
@@ -135,12 +137,14 @@ class IncrementalDetector:
         mirror: Optional[StorageBackend] = None,
         mode: str = NATIVE_MODE,
         delta_plan: str = "auto",
+        telemetry: Optional[Telemetry] = None,
     ):
         if mode not in INCREMENTAL_MODES:
             raise DetectionError(
                 f"unknown incremental mode {mode!r}; "
                 f"expected one of {', '.join(INCREMENTAL_MODES)}"
             )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.database = database
         self.relation_name = relation_name
         self.relation: Relation = database.relation(relation_name)
@@ -197,10 +201,17 @@ class IncrementalDetector:
                 shadow = Database()
                 shadow.add_relation(self.relation)
                 self._query_backend = MemoryBackend(shadow)
+            if self.telemetry.active and not isinstance(
+                self._query_backend, InstrumentedBackend
+            ):
+                self._query_backend = InstrumentedBackend(
+                    self._query_backend, self.telemetry
+                )
             self._generator: Optional[DetectionSqlGenerator] = DetectionSqlGenerator(
                 self.relation.schema,
                 dialect=self._query_backend.dialect,
                 delta_plan=delta_plan,
+                telemetry=self.telemetry,
             )
             self._materialise_tableaux()
             self._initialise_sql()
@@ -305,17 +316,19 @@ class IncrementalDetector:
                 unit.cfd, unit.tableau_name, include_lhs=True
             )
             if single is not None:
-                rows = self._execute_delta(single.sql, single.parameters)
-                self._absorb_single_rows(unit, rows)
+                self._absorb_single_rows(unit, self._execute_delta(single))
             for query in self._generator.multi_tuple_queries(
                 unit.cfd, unit.tableau_name
             ):
-                rows = self._execute_delta(query.sql, query.parameters)
-                self._absorb_multi_rows(unit, rows)
+                self._absorb_multi_rows(unit, self._execute_delta(query))
 
-    def _execute_delta(self, sql: str, parameters: Sequence[Any]) -> List[Dict[str, Any]]:
+    def _execute_delta(self, query: SqlQuery) -> List[Dict[str, Any]]:
         self.delta_queries += 1
-        return self._query_backend.execute(sql, parameters)
+        self.telemetry.inc("delta.queries")
+        if not self.telemetry.active:
+            return self._query_backend.execute(query.sql, query.parameters)
+        with self.telemetry.tag_statements(query.kind):
+            return self._query_backend.execute(query.sql, query.parameters)
 
     def _decode_value(self, attribute: str, value: Any) -> Any:
         """Decode one backend-stored value (shared with the batch detector)."""
@@ -366,7 +379,7 @@ class IncrementalDetector:
         for plan in self._generator.covering_members_plans(
             cfd, unit.tableau_name, unit.rhs_attribute, list(grouped)
         ):
-            for row in self._execute_delta(plan.sql, plan.parameters):
+            for row in self._execute_delta(plan):
                 key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
                 members.setdefault(key, []).append(row["tid"])
         for key, pattern_index in grouped.items():
@@ -396,9 +409,7 @@ class IncrementalDetector:
             for plan in self._generator.delta_plans_single(
                 unit.cfd, unit.tableau_name, touched_tids
             ):
-                self._absorb_single_rows(
-                    unit, self._execute_delta(plan.sql, plan.parameters)
-                )
+                self._absorb_single_rows(unit, self._execute_delta(plan))
             if not unit.cfd.lhs or not unit.wildcard_rhs:
                 continue
             keys = self._affected_keys(unit, touched)
@@ -409,9 +420,7 @@ class IncrementalDetector:
             for plan in self._generator.delta_plans_multi(
                 unit.cfd, unit.tableau_name, unit.rhs_attribute, keys
             ):
-                self._absorb_multi_rows(
-                    unit, self._execute_delta(plan.sql, plan.parameters)
-                )
+                self._absorb_multi_rows(unit, self._execute_delta(plan))
 
     def _affected_keys(
         self, unit: _WorkUnit, touched: Sequence[_Touched]
@@ -533,8 +542,12 @@ class IncrementalDetector:
                 self.mirror.apply_delta_batch(self.relation_name, batch)
             except Exception:
                 self.mirror_desynced = True
+                self.telemetry.inc("mirror.desynced")
                 raise
             self.batches_shipped += 1
+            self.telemetry.inc("delta.batches_shipped")
+            self.telemetry.inc("delta.ops_recorded", batch.ops_recorded)
+            self.telemetry.inc("delta.ops_shipped", batch.statement_count)
         if self.mode == SQL_DELTA_MODE:
             try:
                 self._recheck_affected(touched)
@@ -548,6 +561,7 @@ class IncrementalDetector:
                     self._initialise_sql()
                 except Exception:
                     self.mirror_desynced = True
+                    self.telemetry.inc("mirror.desynced")
                 raise
 
     def apply(self, operation: str, **kwargs: Any) -> Optional[int]:

@@ -78,6 +78,7 @@ from ..core.pattern import WILDCARD_TOKEN
 from ..core.tableau import PATTERN_ID_COLUMN
 from ..engine.types import DataType, RelationSchema
 from ..errors import DetectionError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 
 #: alias used for the data relation in generated queries
 DATA_ALIAS = "t"
@@ -106,12 +107,17 @@ class SqlQuery:
     are inlined) and for queries whose placeholders are bound by the caller
     at execution time (the group-members query).  ``rhs_attribute`` names
     the RHS attribute a ``Q_V`` query detects disagreements on (``None``
-    for the other query kinds).
+    for the other query kinds).  ``kind`` is the statement-kind tag the
+    telemetry layer buckets executions under (``q_c``, ``q_v``,
+    ``delta_single``, ``covering_members``, ...); detectors announce it to
+    the instrumented backend via
+    :meth:`~repro.obs.telemetry.Telemetry.tag_statements`.
     """
 
     sql: str
     parameters: Tuple[Any, ...] = ()
     rhs_attribute: Optional[str] = None
+    kind: Optional[str] = None
 
     def __str__(self) -> str:
         return self.sql
@@ -165,6 +171,7 @@ class DetectionSqlGenerator:
         schema: RelationSchema,
         dialect: Optional[SqlDialect] = None,
         delta_plan: str = "auto",
+        telemetry: Optional["Telemetry"] = None,
     ):
         if delta_plan not in DELTA_PLANS:
             raise DetectionError(
@@ -174,6 +181,7 @@ class DetectionSqlGenerator:
         self.schema = schema
         self.dialect = dialect or MEMORY_DIALECT
         self.delta_plan = delta_plan
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: prepared-plan cache: (kind, cfd, tableau, rhs, chunk shape) -> query.
         #: SqlQuery is frozen, so cached plans are safe to share; entries
         #: scoped to a tableau are dropped by :meth:`invalidate_plans`.
@@ -196,8 +204,10 @@ class DetectionSqlGenerator:
         """
         if key in self._plan_cache:
             self.plan_cache_hits += 1
+            self.telemetry.inc("plan_cache.hits")
             return self._plan_cache[key]
         self.plan_cache_misses += 1
+        self.telemetry.inc("plan_cache.misses")
         plan = build()
         self._plan_cache[key] = plan
         return plan
@@ -213,12 +223,16 @@ class DetectionSqlGenerator:
         "no ``Q_C`` exists" ``None``) must not survive the swap.
         """
         if tableau_name is None:
+            if self._plan_cache:
+                self.telemetry.inc("plan_cache.invalidations", len(self._plan_cache))
             self._plan_cache.clear()
             self._tableau_owners.clear()
             return
         stale = [key for key in self._plan_cache if key[2] == tableau_name]
         for key in stale:
             del self._plan_cache[key]
+        if stale:
+            self.telemetry.inc("plan_cache.invalidations", len(stale))
         self._tableau_owners.pop(tableau_name, None)
 
     def claim_tableau(self, tableau_name: str, cfd: CFD) -> None:
@@ -360,7 +374,8 @@ class DetectionSqlGenerator:
             f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
             f"WHERE {where}"
         )
-        return SqlQuery(sql, tuple(params))
+        kind = "q_c" if delta_tid_count is None else "delta_single"
+        return SqlQuery(sql, tuple(params), kind=kind)
 
     def wildcard_rhs_attributes(self, cfd: CFD) -> List[str]:
         """RHS attributes carrying the wildcard in at least one pattern."""
@@ -522,7 +537,8 @@ class DetectionSqlGenerator:
             f"GROUP BY {', '.join(group_columns)}\n"
             f"HAVING COUNT(DISTINCT {self._data_column(rhs_attribute)}) > 1"
         )
-        return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute)
+        kind = "q_v" if delta_group_count is None else "delta_multi"
+        return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute, kind=kind)
 
     def group_members_query(self, cfd: CFD) -> Optional[SqlQuery]:
         """Parameterised query returning the tuples of one violating LHS group.
@@ -543,7 +559,7 @@ class DetectionSqlGenerator:
             f"FROM {cfd.relation} {DATA_ALIAS}\n"
             f"WHERE {' AND '.join(conditions)}"
         )
-        return SqlQuery(sql)
+        return SqlQuery(sql, kind="group_members")
 
     def group_members_query_delta(
         self,
@@ -583,7 +599,9 @@ class DetectionSqlGenerator:
                 f"FROM {cfd.relation} {DATA_ALIAS}, {tableau_name} {TABLEAU_ALIAS}\n"
                 f"WHERE {' AND '.join(conditions)}"
             )
-            return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute)
+            return SqlQuery(
+                sql, tuple(params), rhs_attribute=rhs_attribute, kind="delta_members"
+            )
 
         return self._cached_plan(
             ("members", cfd, tableau_name, rhs_attribute, group_count), build
@@ -635,7 +653,9 @@ class DetectionSqlGenerator:
                 f"FROM {cfd.relation} {DATA_ALIAS}\n"
                 f"WHERE {' AND '.join(conditions)}"
             )
-            return SqlQuery(sql, (), rhs_attribute=rhs_attribute)
+            return SqlQuery(
+                sql, (), rhs_attribute=rhs_attribute, kind="covering_members"
+            )
 
         return self._cached_plan(
             ("covering", cfd, tableau_name, rhs_attribute, group_count), build
@@ -669,7 +689,7 @@ class DetectionSqlGenerator:
                 f"FROM {cfd.relation} {DATA_ALIAS}\n"
                 f"WHERE {' AND '.join(conditions)}"
             )
-            return SqlQuery(sql)
+            return SqlQuery(sql, kind="lhs_values")
 
         return self._cached_plan(("tid_lhs", cfd, None, None, tid_count), build)
 
@@ -747,7 +767,11 @@ class DetectionSqlGenerator:
             chunk = self._padded(chunk, size)
             query = self.single_tuple_query_delta(cfd, tableau_name, len(chunk))
             plans.append(
-                SqlQuery(query.sql, tuple(query.parameters) + tuple(chunk))
+                SqlQuery(
+                    query.sql,
+                    tuple(query.parameters) + tuple(chunk),
+                    kind=query.kind,
+                )
             )
         return plans
 
@@ -780,7 +804,7 @@ class DetectionSqlGenerator:
             )
             flattened = self.flatten_group_keys(cfd, chunk)
             plans.append(SqlQuery(query.sql, tuple(query.parameters) + flattened,
-                                  rhs_attribute=rhs_attribute))
+                                  rhs_attribute=rhs_attribute, kind=query.kind))
         return plans
 
     def delta_plans_members(
@@ -816,6 +840,7 @@ class DetectionSqlGenerator:
                     query.sql,
                     tuple(query.parameters) + (pattern_index,) + flattened,
                     rhs_attribute=rhs_attribute,
+                    kind=query.kind,
                 )
             )
         return plans
@@ -852,6 +877,7 @@ class DetectionSqlGenerator:
                     query.sql,
                     self.flatten_group_keys(cfd, chunk),
                     rhs_attribute=rhs_attribute,
+                    kind=query.kind,
                 )
             )
         return plans
@@ -872,7 +898,7 @@ class DetectionSqlGenerator:
         for chunk in self._chunked(list(tids), size):
             chunk = self._padded(chunk, size)
             query = self.tid_lhs_query(cfd, len(chunk))
-            plans.append(SqlQuery(query.sql, tuple(chunk)))
+            plans.append(SqlQuery(query.sql, tuple(chunk), kind=query.kind))
         return plans
 
     def _flat_restriction(self, cfd: CFD) -> bool:

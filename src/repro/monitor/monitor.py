@@ -20,6 +20,7 @@ from ..detection.incremental import NATIVE_MODE, IncrementalDetector
 from ..detection.violations import ViolationReport
 from ..engine.database import Database
 from ..errors import MonitorError
+from ..obs.telemetry import Telemetry
 from ..repair.cost import CostModel
 from ..repair.incremental import IncrementalRepairer
 from ..repair.repairer import Repair
@@ -39,6 +40,7 @@ class DataMonitor:
         backend: Optional[StorageBackend] = None,
         mode: str = NATIVE_MODE,
         delta_plan: str = "auto",
+        telemetry: Optional[Telemetry] = None,
     ):
         self.database = database
         self.relation_name = relation_name
@@ -60,6 +62,7 @@ class DataMonitor:
             mirror=backend,
             mode=mode,
             delta_plan=delta_plan,
+            telemetry=telemetry,
         )
         self._repairer = IncrementalRepairer(cost_model=self.cost_model)
         self._repairs: List[Repair] = []

@@ -1,0 +1,37 @@
+"""Observability: spans, metrics, statement instrumentation, plan capture.
+
+A zero-dependency telemetry layer threaded through the whole stack.  One
+:class:`Telemetry` object (built by the
+:class:`~repro.system.semandaq.Semandaq` facade from
+``SemandaqConfig(telemetry=..., explain_plans=..., log_sql=...)``) carries:
+
+* a :class:`~repro.obs.trace.Tracer` of nestable spans
+  (``detect`` → per-CFD → per-chunk statement);
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters and
+  histograms — per-statement-kind timings, plan-cache hits/misses,
+  sync and DeltaBatch coalescing counters;
+* opt-in ``EXPLAIN QUERY PLAN`` capture per distinct statement shape;
+* opt-in DEBUG statement logging on the ``repro`` logger hierarchy.
+
+:class:`InstrumentedBackend` is the proxy that wraps the storage backend
+when any concern is active; :data:`NULL_TELEMETRY` is the shared disabled
+default, so the un-instrumented path costs nothing measurable.
+:mod:`repro.obs.benchjson` defines the schema of the persisted
+``BENCH_*.json`` performance-trajectory files the benchmarks emit.
+"""
+
+from .instrument import InstrumentedBackend
+from .metrics import Counter, Histogram, MetricsRegistry
+from .telemetry import NULL_TELEMETRY, Telemetry
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "InstrumentedBackend",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]

@@ -1,0 +1,170 @@
+"""The persisted ``BENCH_*.json`` performance trajectory.
+
+Every benchmark writes one schema-versioned JSON file under
+``benchmarks/results/``; each run *appends* an entry to the file's
+``trajectory`` list (bounded to the most recent :data:`MAX_TRAJECTORY`
+entries), so the files accumulate a cross-PR record of how the system's
+performance numbers move.  The schema:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "benchmark": "BATCH-RESIDENT",
+      "trajectory": [
+        {
+          "recorded_at": 1754500000.0,
+          "environment": {"python": "3.11.9", "platform": "...",
+                           "sqlite": "3.40.1", "smoke": true},
+          "series": [{"size": 1000, "detect_ms": 12.3}, ...],
+          "metrics": {"plan_cache.hits": 42, ...}
+        }
+      ]
+    }
+
+``series`` is the benchmark's own row list (the same rows it prints via
+``report_series``); ``metrics`` is a flat name → number mapping, typically
+counter values from a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot.  The module lives in the library (not the benchmark harness) so
+both the benchmarks and the CI validator import one schema definition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import sqlite3
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: current schema version of the BENCH_*.json payload
+SCHEMA_VERSION = 1
+
+#: trajectory entries retained per file (oldest dropped first)
+MAX_TRAJECTORY = 24
+
+#: file-name prefix of every emitted trajectory file
+BENCH_FILE_PREFIX = "BENCH_"
+
+
+def bench_slug(name: str) -> str:
+    """Benchmark name → file-name slug (``SQL-DELTA-PLANS`` → ``SQL_DELTA_PLANS``)."""
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", name).strip("_").upper()
+    if not slug:
+        raise ValueError(f"benchmark name {name!r} has no slug characters")
+    return slug
+
+
+def bench_file_name(name: str) -> str:
+    """The trajectory file name for benchmark ``name``."""
+    return f"{BENCH_FILE_PREFIX}{bench_slug(name)}.json"
+
+
+def environment_info() -> Dict[str, Any]:
+    """The environment fingerprint stamped on every trajectory entry."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "sqlite": sqlite3.sqlite_version,
+        "smoke": bool(os.environ.get("BENCH_SMOKE")),
+    }
+
+
+def build_entry(
+    series: Sequence[Dict[str, Any]],
+    metrics: Optional[Dict[str, Any]] = None,
+    environment: Optional[Dict[str, Any]] = None,
+    recorded_at: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One trajectory entry from a benchmark's series rows and counters."""
+    return {
+        "recorded_at": time.time() if recorded_at is None else float(recorded_at),
+        "environment": environment_info() if environment is None else dict(environment),
+        "series": [dict(row) for row in series],
+        "metrics": dict(metrics or {}),
+    }
+
+
+def load_payload(path: str) -> Dict[str, Any]:
+    """Parse one trajectory file (raises on unreadable/invalid JSON)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def append_entry(
+    path: str,
+    name: str,
+    entry: Dict[str, Any],
+    max_entries: int = MAX_TRAJECTORY,
+) -> Dict[str, Any]:
+    """Append ``entry`` to the trajectory at ``path``, creating the file.
+
+    An existing file that fails to parse or validate — e.g. a truncated
+    write from a killed run — is replaced by a fresh single-entry
+    trajectory instead of poisoning every later benchmark run.  Returns
+    the payload written.
+    """
+    payload: Optional[Dict[str, Any]] = None
+    if os.path.exists(path):
+        try:
+            candidate = load_payload(path)
+            if not validate_bench_payload(candidate, name=name):
+                payload = candidate
+        except (OSError, ValueError):
+            payload = None
+    if payload is None:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": name,
+            "trajectory": [],
+        }
+    payload["trajectory"].append(entry)
+    payload["trajectory"] = payload["trajectory"][-max_entries:]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return payload
+
+
+def validate_bench_payload(
+    payload: Any, name: Optional[str] = None
+) -> List[str]:
+    """Schema-check one parsed payload; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {payload.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    benchmark = payload.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        problems.append("benchmark must be a non-empty string")
+    elif name is not None and benchmark != name:
+        problems.append(f"benchmark is {benchmark!r}, expected {name!r}")
+    trajectory = payload.get("trajectory")
+    if not isinstance(trajectory, list) or not trajectory:
+        problems.append("trajectory must be a non-empty list")
+        return problems
+    for index, entry in enumerate(trajectory):
+        label = f"trajectory[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{label} is not an object")
+            continue
+        if not isinstance(entry.get("recorded_at"), (int, float)):
+            problems.append(f"{label}.recorded_at must be a number")
+        if not isinstance(entry.get("environment"), dict):
+            problems.append(f"{label}.environment must be an object")
+        series = entry.get("series")
+        if not isinstance(series, list) or not all(
+            isinstance(row, dict) for row in series
+        ):
+            problems.append(f"{label}.series must be a list of objects")
+        if not isinstance(entry.get("metrics"), dict):
+            problems.append(f"{label}.metrics must be an object")
+    return problems

@@ -1,0 +1,122 @@
+"""Nestable spans: the structural half of the telemetry layer.
+
+A :class:`Tracer` records a forest of :class:`Span` objects — ``detect``
+wrapping one span per CFD wrapping one span per executed statement — so a
+snapshot shows *where* the wall time of an operation went, not just its
+totals.  Spans close correctly on exceptions (the span is marked
+``status="error"`` and still receives its duration), and both the root
+list and each span's child list are bounded: a long-running monitor
+session cannot grow the trace without limit, it just counts what it
+dropped.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List
+
+#: default cap on retained root spans
+MAX_ROOT_SPANS = 128
+#: default cap on retained children per span
+MAX_CHILD_SPANS = 64
+
+
+class Span:
+    """One timed operation, with tags and nested child spans."""
+
+    __slots__ = ("name", "tags", "duration_ms", "status", "children", "dropped_children")
+
+    def __init__(self, name: str, tags: Dict[str, Any]):
+        self.name = name
+        self.tags = tags
+        self.duration_ms: float = 0.0
+        self.status = "ok"
+        self.children: List["Span"] = []
+        self.dropped_children = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view of the span and its children (JSON-ready)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_ms, 3),
+            "status": self.status,
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        if self.dropped_children:
+            out["dropped_children"] = self.dropped_children
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, {self.duration_ms:.3f}ms, {self.status}, "
+            f"children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Records a bounded forest of nested spans."""
+
+    def __init__(
+        self,
+        max_roots: int = MAX_ROOT_SPANS,
+        max_children: int = MAX_CHILD_SPANS,
+    ):
+        self.max_roots = max_roots
+        self.max_children = max_children
+        self.roots: List[Span] = []
+        self.dropped_roots = 0
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[Span]:
+        """Open a span; nests under the innermost open span of this tracer.
+
+        The span always closes — on an exception it is marked
+        ``status="error"``, receives its duration, and the exception
+        propagates.  Dropped spans (past the retention caps) are still
+        timed and yielded; they just do not appear in the snapshot beyond
+        the parent's ``dropped_children`` count.
+        """
+        span = Span(name, tags)
+        if self._stack:
+            parent = self._stack[-1]
+            if len(parent.children) < self.max_children:
+                parent.children.append(span)
+            else:
+                parent.dropped_children += 1
+        else:
+            if len(self.roots) < self.max_roots:
+                self.roots.append(span)
+            else:
+                self.dropped_roots += 1
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            span.duration_ms = (time.perf_counter() - started) * 1000.0
+            self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans (0 outside any span)."""
+        return len(self._stack)
+
+    def reset(self) -> None:
+        """Drop every recorded root span (open spans keep nesting correctly)."""
+        self.roots = []
+        self.dropped_roots = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of the recorded span forest."""
+        return {
+            "roots": [span.to_dict() for span in self.roots],
+            "dropped_roots": self.dropped_roots,
+        }

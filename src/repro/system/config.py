@@ -51,6 +51,20 @@ class SemandaqConfig:
     check_consistency_on_add:
         Whether the constraint engine verifies satisfiability every time a
         CFD is registered.
+    telemetry:
+        Record spans and metrics (statement timings by kind, plan-cache and
+        delta counters) for every detection and sync the system runs;
+        snapshot them with :meth:`repro.system.semandaq.Semandaq.metrics`.
+        Off by default: the disabled telemetry object is a shared no-op and
+        the backend is never wrapped.
+    explain_plans:
+        Capture the backend's query plan (``EXPLAIN QUERY PLAN`` on SQLite)
+        once per distinct detection-statement shape, reporting whether the
+        plan rides an index.  Independent of ``telemetry``.
+    log_sql:
+        Log every backend statement at DEBUG level on the
+        ``repro.obs.instrument`` logger (the package root logger carries a
+        ``NullHandler``; attach a handler to see the output).
     """
 
     backend: str = "memory"
@@ -58,6 +72,9 @@ class SemandaqConfig:
     use_sql_detection: bool = True
     incremental_mode: str = "native"
     sql_delta_plan: str = "auto"
+    telemetry: bool = False
+    explain_plans: bool = False
+    log_sql: bool = False
     repair_max_iterations: int = 25
     audit_majority: float = 0.5
     quality_levels: int = 5

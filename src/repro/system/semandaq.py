@@ -37,6 +37,8 @@ from ..explorer.navigation import DataExplorer
 from ..explorer.session import ExplorationSession
 from ..monitor.monitor import DataMonitor
 from ..monitor.updates import Update
+from ..obs.instrument import InstrumentedBackend
+from ..obs.telemetry import Telemetry
 from ..repair.cost import CostModel
 from ..repair.repairer import BatchRepairer, Repair
 from ..repair.review import RepairReview
@@ -70,12 +72,27 @@ class Semandaq:
             isinstance(self.backend, MemoryBackend)
             and self.backend.database is self.database
         )
+        #: the system-wide telemetry sink; shared by the detector, the
+        #: monitors and the instrumented backend so ``metrics()`` is one
+        #: coherent picture.  Disabled (a no-op) unless the config turns on
+        #: ``telemetry``/``explain_plans``/``log_sql``.
+        self.telemetry = Telemetry(
+            enabled=self.config.telemetry,
+            explain_plans=self.config.explain_plans,
+            log_sql=self.config.log_sql,
+        )
+        if self.telemetry.active and not isinstance(self.backend, InstrumentedBackend):
+            self.backend = InstrumentedBackend(self.backend, self.telemetry)
         self.constraints = ConstraintEngine(
             self.database,
             check_consistency_on_add=self.config.check_consistency_on_add,
             backend=None if self._backend_shared else self.backend,
         )
-        self.detector = ErrorDetector(self.backend, use_sql=self.config.use_sql_detection)
+        self.detector = ErrorDetector(
+            self.backend,
+            use_sql=self.config.use_sql_detection,
+            telemetry=self.telemetry,
+        )
         self.auditor = DataAuditor(
             majority=self.config.audit_majority,
             quality_levels=self.config.quality_levels,
@@ -157,6 +174,7 @@ class Semandaq:
         self._synced.add(relation_name)
         self._stale.discard(relation_name)
         self.full_sync_count += 1
+        self.telemetry.inc("sync.full")
         monitor = self._monitors.get(relation_name)
         if monitor is not None:
             monitor.mark_backend_resynced()
@@ -386,6 +404,7 @@ class Semandaq:
                 batch.record_update(tid, changes)
         if not batch.is_empty():
             self.backend.apply_delta_batch(relation_name, batch)
+            self.telemetry.inc("sync.delta_batches")
 
     # -- step 7: monitor -----------------------------------------------------------------------------
 
@@ -428,7 +447,36 @@ class Semandaq:
             backend=None if self._backend_shared else self.backend,
             mode=self.config.incremental_mode,
             delta_plan=self.config.sql_delta_plan,
+            telemetry=self.telemetry,
         )
+
+    # -- observability -----------------------------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """Snapshot of every metric collected so far, as plain dicts.
+
+        Returns ``{"enabled", "counters", "histograms", "spans", "plans"}``:
+        per-statement-kind timing histograms (``statement_ms.q_v`` ...),
+        plan-cache and delta counters, the recorded span trees, and — in
+        ``explain_plans`` mode — one captured query plan per distinct
+        statement shape with its ``uses_index`` verdict.  Everything is
+        JSON-serialisable; with telemetry off the snapshot is empty but
+        well-formed.
+        """
+        return self.telemetry.snapshot()
+
+    def trace(self, name: str, **tags: Any):
+        """Open a named span around a block of user code.
+
+        Usage: ``with system.trace("nightly-clean", relation="customer"): ...``
+        — the spans of every detect/sync that runs inside nest under it in
+        :meth:`metrics`.  A no-op context manager when telemetry is off.
+        """
+        return self.telemetry.span(name, **tags)
+
+    def reset_metrics(self) -> None:
+        """Clear every collected counter, histogram, span and captured plan."""
+        self.telemetry.reset()
 
     # -- lifecycle ---------------------------------------------------------------------------------------
 

@@ -1,0 +1,193 @@
+"""Tests for the persisted BENCH_*.json trajectory schema and writer."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import benchjson
+
+
+def _entry(marker):
+    return benchjson.build_entry(
+        series=[{"size": 100, "detect_ms": 1.5, "marker": marker}],
+        metrics={"plan_cache.hits": 3},
+        recorded_at=1754500000.0 + marker,
+    )
+
+
+class TestNaming:
+    def test_bench_slug(self):
+        assert benchjson.bench_slug("SQL-DELTA-PLANS") == "SQL_DELTA_PLANS"
+        assert benchjson.bench_slug("incr sync") == "INCR_SYNC"
+        assert benchjson.bench_slug("Fig2") == "FIG2"
+
+    def test_bench_slug_rejects_empty(self):
+        with pytest.raises(ValueError):
+            benchjson.bench_slug("--/--")
+
+    def test_bench_file_name(self):
+        assert benchjson.bench_file_name("BATCH-RESIDENT") == "BENCH_BATCH_RESIDENT.json"
+
+
+class TestBuildEntry:
+    def test_entry_shape(self):
+        entry = _entry(0)
+        assert entry["recorded_at"] == 1754500000.0
+        assert entry["series"] == [{"size": 100, "detect_ms": 1.5, "marker": 0}]
+        assert entry["metrics"] == {"plan_cache.hits": 3}
+        environment = entry["environment"]
+        assert set(environment) >= {"python", "implementation", "platform", "sqlite", "smoke"}
+
+    def test_entry_copies_inputs(self):
+        row = {"size": 1}
+        metrics = {"a": 1}
+        entry = benchjson.build_entry([row], metrics, recorded_at=1.0)
+        row["size"] = 2
+        metrics["a"] = 2
+        assert entry["series"] == [{"size": 1}]
+        assert entry["metrics"] == {"a": 1}
+
+
+class TestAppendEntry:
+    def test_creates_and_appends(self, tmp_path):
+        path = str(tmp_path / benchjson.bench_file_name("DEMO"))
+        benchjson.append_entry(path, "DEMO", _entry(0))
+        payload = benchjson.append_entry(path, "DEMO", _entry(1))
+        assert payload["schema_version"] == benchjson.SCHEMA_VERSION
+        assert payload["benchmark"] == "DEMO"
+        markers = [entry["series"][0]["marker"] for entry in payload["trajectory"]]
+        assert markers == [0, 1]
+        # the written file round-trips and validates
+        loaded = benchjson.load_payload(path)
+        assert benchjson.validate_bench_payload(loaded, name="DEMO") == []
+
+    def test_trajectory_trimmed_to_newest_entries(self, tmp_path):
+        path = str(tmp_path / "BENCH_DEMO.json")
+        for marker in range(5):
+            benchjson.append_entry(path, "DEMO", _entry(marker), max_entries=3)
+        payload = benchjson.load_payload(path)
+        markers = [entry["series"][0]["marker"] for entry in payload["trajectory"]]
+        assert markers == [2, 3, 4]
+
+    def test_corrupt_file_replaced_fresh(self, tmp_path):
+        path = str(tmp_path / "BENCH_DEMO.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "benchmark": "DEMO", "trajecto')
+        payload = benchjson.append_entry(path, "DEMO", _entry(9))
+        assert len(payload["trajectory"]) == 1
+        assert benchjson.validate_bench_payload(benchjson.load_payload(path)) == []
+
+    def test_wrong_benchmark_name_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "BENCH_DEMO.json")
+        benchjson.append_entry(path, "OTHER", _entry(0))
+        payload = benchjson.append_entry(path, "DEMO", _entry(1))
+        assert payload["benchmark"] == "DEMO"
+        assert len(payload["trajectory"]) == 1
+
+    def test_file_ends_with_newline(self, tmp_path):
+        path = str(tmp_path / "BENCH_DEMO.json")
+        benchjson.append_entry(path, "DEMO", _entry(0))
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read().endswith("}\n")
+
+
+class TestValidate:
+    def test_valid_payload_has_no_problems(self):
+        payload = {
+            "schema_version": benchjson.SCHEMA_VERSION,
+            "benchmark": "DEMO",
+            "trajectory": [_entry(0)],
+        }
+        assert benchjson.validate_bench_payload(payload) == []
+        assert benchjson.validate_bench_payload(payload, name="DEMO") == []
+
+    def test_non_object_payload(self):
+        assert benchjson.validate_bench_payload([1, 2]) == ["payload is not a JSON object"]
+
+    def test_schema_version_mismatch(self):
+        payload = {"schema_version": 99, "benchmark": "DEMO", "trajectory": [_entry(0)]}
+        problems = benchjson.validate_bench_payload(payload)
+        assert any("schema_version" in problem for problem in problems)
+
+    def test_benchmark_name_mismatch(self):
+        payload = {
+            "schema_version": benchjson.SCHEMA_VERSION,
+            "benchmark": "DEMO",
+            "trajectory": [_entry(0)],
+        }
+        problems = benchjson.validate_bench_payload(payload, name="OTHER")
+        assert problems == ["benchmark is 'DEMO', expected 'OTHER'"]
+
+    def test_empty_trajectory_rejected(self):
+        payload = {
+            "schema_version": benchjson.SCHEMA_VERSION,
+            "benchmark": "DEMO",
+            "trajectory": [],
+        }
+        problems = benchjson.validate_bench_payload(payload)
+        assert problems == ["trajectory must be a non-empty list"]
+
+    def test_malformed_entries_reported_individually(self):
+        payload = {
+            "schema_version": benchjson.SCHEMA_VERSION,
+            "benchmark": "DEMO",
+            "trajectory": [
+                "not-an-object",
+                {
+                    "recorded_at": "yesterday",
+                    "environment": [],
+                    "series": [1, 2],
+                    "metrics": None,
+                },
+            ],
+        }
+        problems = benchjson.validate_bench_payload(payload)
+        assert "trajectory[0] is not an object" in problems
+        assert "trajectory[1].recorded_at must be a number" in problems
+        assert "trajectory[1].environment must be an object" in problems
+        assert "trajectory[1].series must be a list of objects" in problems
+        assert "trajectory[1].metrics must be an object" in problems
+
+
+class TestValidatorScript:
+    """The CI entry point over a real results directory."""
+
+    def _run(self, argv):
+        import importlib.util
+        import sys
+
+        script = os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir,
+            os.pardir,
+            "benchmarks",
+            "validate_bench_json.py",
+        )
+        spec = importlib.util.spec_from_file_location("validate_bench_json", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.main(argv)
+
+    def test_passes_on_valid_directory(self, tmp_path, capsys):
+        path = str(tmp_path / benchjson.bench_file_name("DEMO"))
+        benchjson.append_entry(path, "DEMO", _entry(0))
+        assert self._run(["--results-dir", str(tmp_path), "--expect", "DEMO"]) == 0
+        assert "1 trajectory file(s) valid" in capsys.readouterr().out
+
+    def test_fails_on_missing_expected_benchmark(self, tmp_path, capsys):
+        path = str(tmp_path / benchjson.bench_file_name("DEMO"))
+        benchjson.append_entry(path, "DEMO", _entry(0))
+        assert self._run(["--results-dir", str(tmp_path), "--expect", "MISSING"]) == 1
+        assert "BENCH_MISSING.json" in capsys.readouterr().err
+
+    def test_fails_on_invalid_file(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_BROKEN.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"schema_version": 0, "benchmark": "", "trajectory": []}, handle)
+        assert self._run(["--results-dir", str(tmp_path)]) == 1
+        errors = capsys.readouterr().err
+        assert "BENCH_BROKEN.json" in errors
+
+    def test_fails_on_empty_directory(self, tmp_path):
+        assert self._run(["--results-dir", str(tmp_path)]) == 1

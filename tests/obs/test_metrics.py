@@ -1,0 +1,97 @@
+"""Tests for the counter/histogram half of the telemetry layer."""
+
+from repro.obs import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc()
+        assert counter.value == 2
+
+    def test_increment_by_amount(self):
+        counter = Counter()
+        counter.inc(7)
+        counter.inc(3)
+        assert counter.value == 10
+
+
+class TestHistogram:
+    def test_empty_histogram(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.to_dict() == {
+            "count": 0,
+            "total": 0.0,
+            "mean": 0.0,
+            "min": None,
+            "max": None,
+        }
+
+    def test_observe_tracks_count_total_extremes(self):
+        histogram = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == 2.0
+
+    def test_to_dict_rounds(self):
+        histogram = Histogram()
+        histogram.observe(1.23456789)
+        summary = histogram.to_dict()
+        assert summary["total"] == 1.234568
+        assert summary["min"] == summary["max"] == 1.234568
+
+
+class TestMetricsRegistry:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("plan_cache.hits")
+        assert counter.value == 0
+        assert registry.counter("plan_cache.hits") is counter
+        histogram = registry.histogram("statement_ms.q_c")
+        histogram.observe(1.5)
+        assert registry.histogram("statement_ms.q_c").count == 1
+
+    def test_counter_value_defaults_to_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("never.incremented") == 0
+        registry.counter("sync.full").inc(4)
+        assert registry.counter_value("sync.full") == 4
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc(2)
+        registry.histogram("m.b").observe(1.0)
+        registry.histogram("m.a").observe(2.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        assert list(snapshot["histograms"]) == ["m.a", "m.b"]
+        assert snapshot["counters"] == {"alpha": 2, "zeta": 1}
+        assert snapshot["histograms"]["m.a"]["count"] == 1
+
+    def test_identical_workloads_snapshot_identically(self):
+        def run():
+            registry = MetricsRegistry()
+            for _ in range(3):
+                registry.counter("statements").inc()
+                registry.histogram("statement_ms.q_v").observe(2.5)
+            registry.counter("statement_rows.q_v").inc(12)
+            return registry.snapshot()
+
+        assert run() == run()
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+        assert registry.counter_value("a") == 0

@@ -1,0 +1,134 @@
+"""Tests for the span/tracer half of the telemetry layer."""
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestSpanNesting:
+    def test_spans_nest_under_the_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("detect", relation="customer"):
+            with tracer.span("statement", kind="q_c"):
+                pass
+            with tracer.span("statement", kind="q_v"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "detect"
+        assert root.tags == {"relation": "customer"}
+        assert [child.name for child in root.children] == ["statement", "statement"]
+        assert [child.tags["kind"] for child in root.children] == ["q_c", "q_v"]
+
+    def test_sibling_roots_do_not_nest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [span.name for span in tracer.roots] == ["first", "second"]
+        assert tracer.roots[0].children == []
+
+    def test_depth_tracks_open_spans(self):
+        tracer = Tracer()
+        assert tracer.depth == 0
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+
+class TestSpanClosing:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.duration_ms >= 0.0
+        assert span.status == "ok"
+
+    def test_span_closes_with_error_status_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert tracer.depth == 0  # both spans closed despite the raise
+        root = tracer.roots[0]
+        assert root.status == "error"
+        assert root.children[0].status == "error"
+        assert root.children[0].duration_ms >= 0.0
+
+    def test_nesting_recovers_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failed"):
+                raise RuntimeError
+        with tracer.span("next"):
+            pass
+        assert [span.name for span in tracer.roots] == ["failed", "next"]
+        assert tracer.roots[1].children == []
+
+
+class TestRetentionCaps:
+    def test_root_spans_are_bounded(self):
+        tracer = Tracer(max_roots=2)
+        for index in range(5):
+            with tracer.span(f"root{index}"):
+                pass
+        assert [span.name for span in tracer.roots] == ["root0", "root1"]
+        assert tracer.dropped_roots == 3
+        assert tracer.snapshot()["dropped_roots"] == 3
+
+    def test_child_spans_are_bounded(self):
+        tracer = Tracer(max_children=2)
+        with tracer.span("root"):
+            for index in range(5):
+                with tracer.span(f"child{index}"):
+                    pass
+        root = tracer.roots[0]
+        assert [span.name for span in root.children] == ["child0", "child1"]
+        assert root.dropped_children == 3
+        assert root.to_dict()["dropped_children"] == 3
+
+    def test_dropped_spans_still_nest_correctly(self):
+        tracer = Tracer(max_roots=1)
+        with tracer.span("kept"):
+            pass
+        with tracer.span("dropped"):
+            with tracer.span("grandchild") as grandchild:
+                pass
+        # the dropped root still parented its child; nothing leaked into the
+        # retained forest
+        assert [span.name for span in tracer.roots] == ["kept"]
+        assert grandchild.name == "grandchild"
+        assert tracer.depth == 0
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_dicts(self):
+        tracer = Tracer()
+        with tracer.span("detect", cfds=4):
+            with tracer.span("statement"):
+                pass
+        snapshot = tracer.snapshot()
+        assert set(snapshot) == {"roots", "dropped_roots"}
+        root = snapshot["roots"][0]
+        assert root["name"] == "detect"
+        assert root["status"] == "ok"
+        assert root["tags"] == {"cfds": 4}
+        assert root["children"][0]["name"] == "statement"
+        assert "tags" not in root["children"][0]  # empty tags are elided
+
+    def test_reset_drops_recorded_roots(self):
+        tracer = Tracer(max_roots=1)
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert tracer.dropped_roots == 1
+        tracer.reset()
+        assert tracer.snapshot() == {"roots": [], "dropped_roots": 0}
+        with tracer.span("after"):
+            pass
+        assert [span.name for span in tracer.roots] == ["after"]
