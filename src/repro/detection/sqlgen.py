@@ -693,6 +693,111 @@ class DetectionSqlGenerator:
 
         return self._cached_plan(("tid_lhs", cfd, None, None, tid_count), build)
 
+    # -- repair-source aggregates ---------------------------------------------------
+
+    def value_freq_query(self, attribute: str) -> SqlQuery:
+        """Frequency histogram of one column's non-NULL values.
+
+        The backend-resident repair source uses this to replace the
+        repairer's ``_column_frequencies`` scan: one ``GROUP BY`` aggregate
+        per attribute, returning ``(value, freq, first_tid)`` rows.
+        ``first_tid`` (``MIN(_tid)``) lets the caller order ties exactly
+        the way the native ``Counter`` does — first encounter over the
+        sorted-tid row iteration — so candidate ranking stays
+        oracle-identical.  The plan is tableau-independent and binds
+        nothing.
+        """
+        if attribute not in self.schema.attribute_names:
+            raise DetectionError(
+                f"unknown attribute {attribute!r} in relation {self.schema.name!r}"
+            )
+
+        def build() -> SqlQuery:
+            column = f"{DATA_ALIAS}.{attribute}"
+            sql = (
+                f"SELECT {column} AS value, COUNT(*) AS freq, "
+                f"MIN({DATA_ALIAS}._tid) AS first_tid\n"
+                f"FROM {self.schema.name} {DATA_ALIAS}\n"
+                f"WHERE {column} IS NOT NULL\n"
+                f"GROUP BY {column}"
+            )
+            return SqlQuery(sql, kind="value_freq")
+
+        return self._cached_plan(("value_freq", attribute, None, None, 0), build)
+
+    def group_stats_query(
+        self, cfd: CFD, rhs_attribute: str, group_count: int
+    ) -> SqlQuery:
+        """Aggregate membership statistics for ``group_count`` LHS groups.
+
+        One row per LHS group that has at least one member — LHS matching
+        the restriction, RHS non-NULL — carrying ``member_count`` and the
+        ``distinct_rhs`` count on the string encoding ``Q_V`` groups by.
+        The backend-resident repair source runs this as a cheap pre-filter
+        before enumerating members: keys that come back empty (typically
+        fresh-value keys no stored tuple carries) never pay a member
+        enumeration, and keys whose members are all fetched already can be
+        recognised by count alone.  Like :meth:`covering_members_query`
+        the predicate is sargable (plain LHS equalities + the RHS guard);
+        the plan is tableau-independent and all placeholders are
+        caller-bound (:meth:`flatten_group_keys`).
+        """
+        if not cfd.lhs:
+            raise ValueError("the group-stats query needs a non-empty LHS")
+        if group_count < 1:
+            raise ValueError("group_count must be at least 1")
+
+        def build() -> SqlQuery:
+            conditions = [
+                self._group_restriction(cfd, group_count),
+                f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL",
+            ]
+            select_columns = [
+                f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+            ]
+            select_columns.append("COUNT(*) AS member_count")
+            select_columns.append(
+                f"COUNT(DISTINCT {self._data_column(rhs_attribute)}) AS distinct_rhs"
+            )
+            group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(conditions)}\n"
+                f"GROUP BY {', '.join(group_columns)}"
+            )
+            return SqlQuery(sql, (), rhs_attribute=rhs_attribute, kind="group_stats")
+
+        return self._cached_plan(
+            ("group_stats", cfd, None, rhs_attribute, group_count), build
+        )
+
+    def row_fetch_query(self, tid_count: int) -> SqlQuery:
+        """Full rows of ``tid_count`` tuples, as ``(tid, <attributes...>)``.
+
+        The backend-resident repair source materialises its partial working
+        relation through this plan: only the violating tuples (and later
+        the members of groups a repair step touched) ever cross the backend
+        boundary.  A flat tid ``IN`` list, caller-bound; tableau-independent.
+        """
+        if tid_count < 1:
+            raise ValueError("tid_count must be at least 1")
+
+        def build() -> SqlQuery:
+            placeholders = ", ".join("?" for _ in range(tid_count))
+            select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+                f"{DATA_ALIAS}.{attr} AS {attr}"
+                for attr in self.schema.attribute_names
+            ]
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {self.schema.name} {DATA_ALIAS}\n"
+                f"WHERE {DATA_ALIAS}._tid IN ({placeholders})"
+            )
+            return SqlQuery(sql, kind="row_fetch")
+
+        return self._cached_plan(("row_fetch", None, None, None, tid_count), build)
+
     # -- budget-chunked delta plans ------------------------------------------------
 
     def _chunk_size(self, base_params: int, per_item: int, or_form: bool) -> Optional[int]:
@@ -898,6 +1003,57 @@ class DetectionSqlGenerator:
         for chunk in self._chunked(list(tids), size):
             chunk = self._padded(chunk, size)
             query = self.tid_lhs_query(cfd, len(chunk))
+            plans.append(SqlQuery(query.sql, tuple(chunk), kind=query.kind))
+        return plans
+
+    def group_stats_plans(
+        self,
+        cfd: CFD,
+        rhs_attribute: str,
+        keys: Sequence[Tuple[Any, ...]],
+    ) -> List[SqlQuery]:
+        """Fully-bound group-stats aggregates covering every group in ``keys``.
+
+        Chunked like the other group restrictions (parameter budget, and
+        the expression-depth cap for the portable OR form); empty when
+        ``keys`` is empty.
+        """
+        if not keys:
+            return []
+        size = self._chunk_size(
+            0,  # the stats query binds nothing besides the keys
+            len(cfd.lhs) * self._key_binds(cfd),
+            or_form=not self._flat_restriction(cfd),
+        )
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(keys), size):
+            chunk = self._padded(chunk, size)
+            query = self.group_stats_query(cfd, rhs_attribute, len(chunk))
+            plans.append(
+                SqlQuery(
+                    query.sql,
+                    self.flatten_group_keys(cfd, chunk),
+                    rhs_attribute=rhs_attribute,
+                    kind=query.kind,
+                )
+            )
+        return plans
+
+    def row_fetch_plans(self, tids: Sequence[int]) -> List[SqlQuery]:
+        """Fully-bound row fetches covering every tid in ``tids``.
+
+        Chunked by the dialect's parameter budget (a flat tid ``IN`` list
+        is one expression node on both engines); empty when ``tids`` is
+        empty.  Padding repeats the last tid, so callers must de-duplicate
+        returned rows by ``tid``.
+        """
+        if not tids:
+            return []
+        size = self._chunk_size(0, 1, or_form=False)
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(tids), size):
+            chunk = self._padded(chunk, size)
+            query = self.row_fetch_query(len(chunk))
             plans.append(SqlQuery(query.sql, tuple(chunk), kind=query.kind))
         return plans
 

@@ -189,15 +189,14 @@ class DataMonitor:
         )
         # Safety net: incremental repair must never rewrite previously
         # cleansed data (every tid outside the update batch is protected).
-        # The O(#changes) scan keeps the happy path cheap; the full
-        # protected set is only materialised when a violation is about to
-        # be reported anyway.
+        # The offending tids are exactly the changes outside the batch, so
+        # the check is O(#changes) — no scan of the relation's tid set.
         updated = set(live)
-        if any(change.tid not in updated for change in repair.changes):
-            protected = [
-                tid for tid in self._detector.relation.tids() if tid not in updated
-            ]
-            self._repairer.verify_untouched(repair, protected)
+        offending = [
+            change.tid for change in repair.changes if change.tid not in updated
+        ]
+        if offending:
+            self._repairer.verify_untouched(repair, offending)
         # apply the repair's changes to the monitored relation and to the
         # incremental detection state (the whole changeset also reaches the
         # attached backend as one DeltaBatch through the detector's mirror)

@@ -38,8 +38,10 @@ from ..core.satisfaction import (
 )
 from ..engine.relation import Relation
 from ..errors import RepairError
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from .cost import CostModel
 from .eqclass import Cell, EquivalenceClasses
+from .source import NativeRepairSource, RepairDataSource, native_column_frequencies
 
 #: Prefix of invented ("fresh") values used when no existing value can break a
 #: violation; mirrors the fresh-value device of the repair papers.
@@ -80,6 +82,11 @@ class Repair:
     changes: List[CellChange] = field(default_factory=list)
     iterations: int = 0
     residual_violations: int = 0
+    #: which data source planned the repair: ``"native"`` (full in-memory
+    #: relation) or ``"backend"`` (resident source — ``original`` and
+    #: ``repaired`` then hold only the partial relation the planner saw,
+    #: and the changes list is the complete ground truth of the repair)
+    source: str = "native"
 
     @property
     def total_cost(self) -> float:
@@ -121,6 +128,7 @@ class BatchRepairer:
         cost_model: Optional[CostModel] = None,
         max_iterations: int = 25,
         restrict_to_tids: Optional[Iterable[int]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.cost_model = cost_model or CostModel.uniform()
         self.max_iterations = max_iterations
@@ -129,18 +137,41 @@ class BatchRepairer:
         self.restrict_to_tids: Optional[Set[int]] = (
             set(restrict_to_tids) if restrict_to_tids is not None else None
         )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._fresh_counter = 0
+        #: the data source of the repair in progress (set per call); the
+        #: planner itself never touches storage — every relational answer
+        #: comes through this object
+        self._source: Optional[RepairDataSource] = None
 
     # -- public API -------------------------------------------------------------------
 
     def repair(self, relation: Relation, cfds: Sequence[CFD]) -> Repair:
         """Compute a candidate repair of ``relation`` with respect to ``cfds``."""
+        return self.repair_with_source(NativeRepairSource(relation), cfds)
+
+    def repair_with_source(
+        self, source: RepairDataSource, cfds: Sequence[CFD]
+    ) -> Repair:
+        """Compute a candidate repair over the data a :class:`RepairDataSource` serves.
+
+        This is the planner half of the PR 7 split: the greedy algorithm
+        below reads and mutates only the working relation the source
+        loads, and the source decides where violations, group members and
+        value frequencies come from — a full in-memory copy
+        (:class:`~repro.repair.source.NativeRepairSource`, the parity
+        oracle) or the storage backend's resident copy
+        (:class:`~repro.repair.source.BackendRepairSource`, which
+        materialises just the violating tuples plus the group closures of
+        the planner's own changes).
+        """
+        self._source = source
         for cfd in cfds:
-            cfd.validate_against(relation.attribute_names)
-        working = relation.copy()
+            cfd.validate_against(source.attribute_names())
+        working = source.load(cfds)
         change_log: Dict[Cell, CellChange] = {}
         original_values: Dict[Cell, Any] = {}
-        column_frequencies = self._column_frequencies(working)
+        column_frequencies = source.column_frequencies()
 
         iterations = 0
         residual = 0
@@ -150,6 +181,7 @@ class BatchRepairer:
         best_state: Optional[Tuple[int, Relation, Dict[Cell, CellChange]]] = None
         while iterations < self.max_iterations:
             iterations += 1
+            source.begin_round(working)
             violations = self._collect_violations(working, cfds)
             if best_state is None or len(violations) < best_state[0]:
                 best_state = (len(violations), working.copy(), dict(change_log))
@@ -177,6 +209,7 @@ class BatchRepairer:
                 residual = len(violations)
                 break
         else:
+            source.begin_round(working)
             residual = len(self._collect_violations(working, cfds))
 
         if best_state is not None and residual > best_state[0]:
@@ -192,11 +225,12 @@ class BatchRepairer:
             change for change in changes if change.old_value != change.new_value
         ]
         return Repair(
-            original=relation,
+            original=source.original(),
             repaired=working,
             changes=changes,
             iterations=iterations,
             residual_violations=residual,
+            source="backend" if source.resident else "native",
         )
 
     # -- violation collection ------------------------------------------------------------
@@ -363,6 +397,8 @@ class BatchRepairer:
                     group_classes.union(anchor, cell)
             except RepairError:
                 pinned_conflict = True
+            else:
+                self.telemetry.inc("repair.classes_merged", len(cells) - 1)
         if pinned_conflict:
             # Cells pinned to different constants: break the group instead by
             # changing an LHS cell of one conflicting tuple.
@@ -522,6 +558,10 @@ class BatchRepairer:
             original_values[cell] = current
         original = original_values[cell]
         working.update(tid, {attribute: new_value})
+        # the source may need to grow the working relation over the groups
+        # this change moved the tuple into (a no-op for the native source)
+        if self._source is not None:
+            self._source.note_change(working, tid, attribute)
         cost = self.cost_model.change_cost(tid, attribute, original, new_value, fresh=fresh)
         change_log[cell] = CellChange(
             tid=tid,
@@ -534,12 +574,7 @@ class BatchRepairer:
         )
 
     def _column_frequencies(self, relation: Relation) -> Dict[str, Counter]:
-        frequencies: Dict[str, Counter] = {name: Counter() for name in relation.attribute_names}
-        for _tid, row in relation.rows():
-            for attribute, value in row.items():
-                if value is not None:
-                    frequencies[attribute][value] += 1
-        return frequencies
+        return native_column_frequencies(relation)
 
 
 def repair_quality(

@@ -1,0 +1,366 @@
+"""Repair data sources: where the repairer's relational work runs.
+
+PR 7 splits the data cleanser into two halves:
+
+* the **planner** (:class:`~repro.repair.repairer.BatchRepairer` with the
+  equivalence-class and cost machinery of :mod:`repro.repair.eqclass` /
+  :mod:`repro.repair.cost`) — pure decision logic over a working
+  :class:`~repro.engine.relation.Relation` it owns;
+* a **data source** (this module) — the only component that talks to
+  storage.  It decides *which tuples the planner gets to see* and answers
+  the relational sub-problems (violation collection, group membership,
+  value frequencies) either from an in-memory relation or from the
+  storage backend's resident copy.
+
+:class:`NativeRepairSource` is the parity oracle: the planner sees a full
+copy of the relation and every answer comes from Python iteration — the
+seed behaviour, bit-for-bit.
+
+:class:`BackendRepairSource` keeps the relation in the backend and
+materialises only a *partial* working relation:
+
+* the initial tuple set is the violating tuples of a backend-resident
+  ``detect()`` (reusing the PR 5 pushdown end to end);
+* ``_column_frequencies`` becomes one ``GROUP BY``/``COUNT`` aggregate
+  per attribute (:meth:`DetectionSqlGenerator.value_freq_query`), ordered
+  client-side by ``(freq DESC, MIN(_tid) ASC)`` so candidate ranking ties
+  break exactly like the native ``Counter``'s first-encounter order;
+* whenever the planner changes a cell, the affected LHS-group keys are
+  queued, and at the start of the next round the source *closes* the
+  partial relation over them: a chunked
+  :meth:`~DetectionSqlGenerator.group_stats_query` aggregate answers how
+  many members the backend holds per key (keys nobody stores — the
+  common fresh-value case — and keys whose members are all fetched
+  already are dismissed by count alone), and only the remainder pay a
+  sargable :meth:`~DetectionSqlGenerator.covering_members_query`
+  enumeration plus a :meth:`~DetectionSqlGenerator.row_fetch_query` for
+  the missing rows.
+
+The closure maintains the invariant the oracle proof rests on: every
+backend member of every LHS group that could *become* violating through a
+planner change is present in the partial relation before violations are
+re-collected.  Unfetched tuples never change, so their single-tuple
+status is frozen (all initially-violating tuples are fetched up front)
+and a group can only turn violating through a fetched-and-changed member
+— whose new key was queued.  The partial relation is therefore
+violation-equivalent to the full one at every round boundary, and the
+planner's decisions (which iterate fetched tuples in sorted-tid order,
+exactly like the native path iterates all tuples) come out identical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..backends.base import StorageBackend
+from ..core.cfd import CFD
+from ..detection.detector import ErrorDetector, decode_backend_value
+from ..detection.sqlgen import (
+    LHS_COLUMN_PREFIX,
+    DetectionSqlGenerator,
+    SqlQuery,
+)
+from ..engine.relation import Relation
+from ..engine.types import RelationSchema
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
+
+#: pseudo-tableau name scoping the repair source's covering-member plans in
+#: the generator's cache (the plans join no tableau; the name is never
+#: claimed by a CFD, so the cached plans survive for the generator's life)
+REPAIR_PLAN_SCOPE = "__semandaq_repair__"
+
+GroupKey = Tuple[Any, ...]
+
+
+class RepairDataSource:
+    """What the repair planner needs from storage, as a narrow protocol."""
+
+    #: whether the source keeps the relation backend-resident
+    resident = False
+
+    def attribute_names(self) -> List[str]:
+        """Attribute names of the target relation (for CFD validation)."""
+        raise NotImplementedError
+
+    def load(self, cfds: Sequence[CFD]) -> Relation:
+        """Build and return the working relation the planner mutates."""
+        raise NotImplementedError
+
+    def original(self) -> Relation:
+        """The pristine relation recorded as :attr:`Repair.original`."""
+        raise NotImplementedError
+
+    def column_frequencies(self) -> Dict[str, Counter]:
+        """Per-attribute frequency of non-NULL values in the original data."""
+        raise NotImplementedError
+
+    def begin_round(self, working: Relation) -> None:
+        """Hook before each violation-collection round (closure maintenance)."""
+
+    def note_change(self, working: Relation, tid: int, attribute: str) -> None:
+        """Hook after the planner changed ``working[tid][attribute]``."""
+
+
+class NativeRepairSource(RepairDataSource):
+    """The parity oracle: a full in-memory copy, Python iteration throughout."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+
+    def attribute_names(self) -> List[str]:
+        return list(self.relation.attribute_names)
+
+    def load(self, cfds: Sequence[CFD]) -> Relation:
+        return self.relation.copy()
+
+    def original(self) -> Relation:
+        return self.relation
+
+    def column_frequencies(self) -> Dict[str, Counter]:
+        return native_column_frequencies(self.relation)
+
+
+def native_column_frequencies(relation: Relation) -> Dict[str, Counter]:
+    """Frequency of every non-NULL value per attribute, by relation scan."""
+    frequencies: Dict[str, Counter] = {
+        name: Counter() for name in relation.attribute_names
+    }
+    for _tid, row in relation.rows():
+        for attribute, value in row.items():
+            if value is not None:
+                frequencies[attribute][value] += 1
+    return frequencies
+
+
+class BackendRepairSource(RepairDataSource):
+    """Backend-resident source: the planner sees only the tuples it needs.
+
+    ``detector`` may be shared (the facade passes its own, so the repair
+    reuses its per-relation generator and prepared-plan caches); when
+    omitted a private one is built over ``backend``.
+    """
+
+    resident = True
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        relation_name: str,
+        telemetry: Optional[Telemetry] = None,
+        detector: Optional[ErrorDetector] = None,
+    ):
+        self.backend = backend
+        self.relation_name = relation_name
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._detector = detector or ErrorDetector(
+            backend, use_sql=True, telemetry=telemetry
+        )
+        self._schema: Optional[RelationSchema] = None
+        self._generator: Optional[DetectionSqlGenerator] = None
+        self._original: Optional[Relation] = None
+        #: pristine backend rows of every fetched tuple (decoded values);
+        #: the backend copy is frozen while a repair is planned, so these
+        #: answer "is every backend member of this key already fetched?"
+        #: exactly, without a round trip
+        self._backend_rows: Dict[int, Dict[str, Any]] = {}
+        #: per closure sub-CFD: pristine member count per LHS key among the
+        #: fetched rows (maintained at fetch time so the begin_round
+        #: pre-filter is a dictionary lookup, not a scan)
+        self._fetched_members: List[Counter] = []
+        #: normalised sub-CFDs with a wildcard RHS (the only shapes whose
+        #: group membership a cell change can grow)
+        self._subs: List[CFD] = []
+        #: closure queue: sub-CFD index -> ordered set of LHS keys to re-check
+        self._pending: Dict[int, Dict[GroupKey, None]] = {}
+        #: SQL issued by this source (the detector keeps its own log)
+        self.last_sql: List[str] = []
+        #: pushdown counters (tests and benchmarks read these)
+        self.stats = {
+            "rows_fetched": 0,
+            "groups_checked": 0,
+            "groups_expanded": 0,
+        }
+
+    # -- protocol ----------------------------------------------------------------
+
+    def attribute_names(self) -> List[str]:
+        return list(self._schema_of().attribute_names)
+
+    def load(self, cfds: Sequence[CFD]) -> Relation:
+        schema = self._schema_of()
+        self._generator = DetectionSqlGenerator(
+            schema, dialect=self.backend.dialect, telemetry=self.telemetry
+        )
+        self._subs = self._closure_subs(cfds)
+        self._fetched_members = [Counter() for _ in self._subs]
+        working = Relation(schema)
+        self._original = Relation(schema)
+        # The initial working set: exactly the violating tuples, found by
+        # the backend-resident detect (zero working-store reads, PR 5).
+        report = self._detector.detect(self.relation_name, cfds)
+        self._fetch_rows(working, sorted(report.dirty_tids()))
+        return working
+
+    def original(self) -> Relation:
+        if self._original is None:
+            raise RuntimeError("load() must run before original()")
+        return self._original
+
+    def column_frequencies(self) -> Dict[str, Counter]:
+        schema = self._schema_of()
+        generator = self._require_generator()
+        frequencies: Dict[str, Counter] = {}
+        for attribute in schema.attribute_names:
+            rows = self._execute(generator.value_freq_query(attribute))
+            decoded = [
+                (
+                    decode_backend_value(schema, attribute, row["value"]),
+                    int(row["freq"]),
+                    row["first_tid"],
+                )
+                for row in rows
+            ]
+            # (freq DESC, first-encounter tid ASC) insertion order makes
+            # Counter.most_common — a stable sort on count — break ties
+            # exactly like the native first-encounter Counter.
+            decoded.sort(key=lambda item: (-item[1], item[2]))
+            counter: Counter = Counter()
+            for value, freq, _first_tid in decoded:
+                counter[value] = freq
+            frequencies[attribute] = counter
+        return frequencies
+
+    def begin_round(self, working: Relation) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        generator = self._require_generator()
+        schema = self._schema_of()
+        for sub_index, keymap in pending.items():
+            sub = self._subs[sub_index]
+            keys = list(keymap)
+            rhs_attribute = sub.rhs[0]
+            self.stats["groups_checked"] += len(keys)
+            # Aggregate pre-filter: member counts straight off the CFD-LHS
+            # index.  A key nobody stores (fresh values) or whose members
+            # are all fetched already needs no enumeration.
+            counts: Dict[GroupKey, int] = {}
+            for plan in generator.group_stats_plans(sub, rhs_attribute, keys):
+                for row in self._execute(plan):
+                    key = tuple(
+                        decode_backend_value(
+                            schema, attr, row[LHS_COLUMN_PREFIX + attr]
+                        )
+                        for attr in sub.lhs
+                    )
+                    counts[key] = int(row["member_count"])
+            fetched = self._fetched_members[sub_index]
+            expand = [key for key in keys if counts.get(key, 0) > fetched[key]]
+            if not expand:
+                continue
+            self.stats["groups_expanded"] += len(expand)
+            missing: Dict[int, None] = {}
+            for plan in generator.covering_members_plans(
+                sub, REPAIR_PLAN_SCOPE, rhs_attribute, expand
+            ):
+                for row in self._execute(plan):
+                    tid = row["tid"]
+                    if tid not in working:
+                        missing[tid] = None
+            self._fetch_rows(working, sorted(missing))
+
+    def note_change(self, working: Relation, tid: int, attribute: str) -> None:
+        row = working.get(tid)
+        for sub_index, sub in enumerate(self._subs):
+            if attribute not in sub.lhs and attribute != sub.rhs[0]:
+                continue
+            key = tuple(row.get(attr) for attr in sub.lhs)
+            if any(value is None for value in key):
+                continue  # NULL-LHS tuples belong to no group
+            if not self._key_applicable(sub, key):
+                continue  # no wildcard-RHS pattern covers this key
+            self._pending.setdefault(sub_index, {})[key] = None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _schema_of(self) -> RelationSchema:
+        if self._schema is None:
+            self._schema = self.backend.schema(self.relation_name)
+        return self._schema
+
+    def _require_generator(self) -> DetectionSqlGenerator:
+        if self._generator is None:
+            raise RuntimeError("load() must run before queries are planned")
+        return self._generator
+
+    def _closure_subs(self, cfds: Sequence[CFD]) -> List[CFD]:
+        subs: List[CFD] = []
+        seen = set()
+        for cfd in cfds:
+            for sub in cfd.normalize():
+                signature = (sub.lhs, sub.rhs, sub.patterns)
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                if sub.lhs and any(
+                    sub.rhs_pattern(pattern).value(sub.rhs[0]).is_wildcard
+                    for pattern in sub.patterns
+                ):
+                    subs.append(sub)
+        return subs
+
+    def _key_applicable(self, sub: CFD, key: GroupKey) -> bool:
+        """Whether some wildcard-RHS pattern's LHS constants match ``key``."""
+        rhs_attribute = sub.rhs[0]
+        row_like = dict(zip(sub.lhs, key))
+        for pattern in sub.patterns:
+            if not pattern.value(rhs_attribute).is_wildcard:
+                continue
+            if sub.lhs_pattern(pattern).matches(row_like):
+                return True
+        return False
+
+    def _note_fetched(self, values: Dict[str, Any]) -> None:
+        """Account one pristine fetched row in the per-sub member counters.
+
+        The counting criterion mirrors :meth:`group_stats_query` exactly —
+        LHS equals the key, RHS non-NULL, no pattern filter — so a
+        counter hitting the backend's ``member_count`` proves every
+        backend member of that key is already materialised.
+        """
+        for index, sub in enumerate(self._subs):
+            if values.get(sub.rhs[0]) is None:
+                continue
+            key = tuple(values.get(attr) for attr in sub.lhs)
+            if any(value is None for value in key):
+                continue
+            self._fetched_members[index][key] += 1
+
+    def _fetch_rows(self, working: Relation, tids: Sequence[int]) -> None:
+        missing = [tid for tid in tids if tid not in working]
+        if not missing:
+            return
+        schema = self._schema_of()
+        generator = self._require_generator()
+        for plan in generator.row_fetch_plans(missing):
+            for row in self._execute(plan):
+                tid = row["tid"]
+                if tid in working:
+                    continue  # padding repeats the last tid
+                values = {
+                    attr: decode_backend_value(schema, attr, row.get(attr))
+                    for attr in schema.attribute_names
+                }
+                working.insert_at(tid, dict(values))
+                self.original().insert_at(tid, dict(values))
+                self._backend_rows[tid] = values
+                self._note_fetched(values)
+                self.stats["rows_fetched"] += 1
+
+    def _execute(self, query: SqlQuery) -> List[Dict[str, Any]]:
+        self.last_sql.append(query.sql)
+        if not self.telemetry.active:
+            return self.backend.execute(query.sql, query.parameters)
+        with self.telemetry.tag_statements(query.kind):
+            return self.backend.execute(query.sql, query.parameters)

@@ -38,6 +38,16 @@ class SemandaqConfig:
         semi-joins on SQLite 3.15+, the OR-of-conjunctions form on the
         embedded engine); ``"portable"`` forces the OR form everywhere
         (the debugging / compatibility policy).
+    repair_source:
+        Where the batch repairer reads its data from.  ``"auto"`` keeps the
+        repair backend-resident whenever SQL detection is on: violations,
+        group members and value frequencies are answered by the storage
+        backend (``GROUP BY``/``COUNT`` aggregates, sargable member
+        fetches) and only result-sized rows cross the boundary —
+        ``clean()``/``apply_repair`` never call ``to_relation``.
+        ``"native"`` forces the original walk over the working
+        :class:`~repro.engine.relation.Relation` (the parity oracle and
+        the only choice when ``use_sql_detection`` is off).
     repair_max_iterations:
         Round limit of the heuristic repair algorithm.
     audit_majority:
@@ -75,6 +85,7 @@ class SemandaqConfig:
     telemetry: bool = False
     explain_plans: bool = False
     log_sql: bool = False
+    repair_source: str = "auto"
     repair_max_iterations: int = 25
     audit_majority: float = 0.5
     quality_levels: int = 5
@@ -102,6 +113,11 @@ class SemandaqConfig:
             raise ConfigurationError(
                 f"unknown sql_delta_plan {self.sql_delta_plan!r}; "
                 f"expected one of {', '.join(DELTA_PLANS)}"
+            )
+        if self.repair_source not in ("auto", "native"):
+            raise ConfigurationError(
+                f"unknown repair_source {self.repair_source!r}; "
+                "expected 'auto' or 'native'"
             )
         if self.repair_max_iterations < 1:
             raise ConfigurationError("repair_max_iterations must be at least 1")

@@ -41,6 +41,7 @@ from ..obs.instrument import InstrumentedBackend
 from ..obs.telemetry import Telemetry
 from ..repair.cost import CostModel
 from ..repair.repairer import BatchRepairer, Repair
+from ..repair.source import BackendRepairSource
 from ..repair.review import RepairReview
 from .config import SemandaqConfig
 from .constraint_engine import ConstraintEngine
@@ -301,24 +302,73 @@ class Semandaq:
 
     # -- step 6: repair and review -----------------------------------------------------------------
 
+    def _repair_resident(self) -> bool:
+        """Whether repairs read from the storage backend instead of the relation."""
+        return self.config.repair_source == "auto" and self.config.use_sql_detection
+
     def repair(self, relation_name: str, cost_model: Optional[CostModel] = None) -> Repair:
-        """Compute a candidate repair of ``relation_name``."""
-        relation = self.database.relation(relation_name)
+        """Compute a candidate repair of ``relation_name``.
+
+        With ``repair_source="auto"`` (and SQL detection on) the repair is
+        planned over a backend-resident data source: violations come from
+        the pushed-down ``detect()``, group members from the sargable
+        covering-members plans and value frequencies from ``GROUP BY``
+        aggregates — only result-sized rows cross the backend boundary and
+        the working relation is never walked.  ``repair_source="native"``
+        forces the original full-relation path (the parity oracle).
+        """
+        cfds = self.constraints.cfds(relation_name)
         repairer = BatchRepairer(
             cost_model=cost_model or self.cost_model,
             max_iterations=self.config.repair_max_iterations,
+            telemetry=self.telemetry,
         )
-        repair = repairer.repair(relation, self.constraints.cfds(relation_name))
+        if self._repair_resident():
+            self._sync_backend_if_stale(relation_name)
+            source = BackendRepairSource(
+                self.backend,
+                relation_name,
+                telemetry=self.telemetry,
+                detector=self.detector,
+            )
+            repair = repairer.repair_with_source(source, cfds)
+            self.telemetry.inc("repair.source_resident")
+        else:
+            repair = repairer.repair(self.database.relation(relation_name), cfds)
+        self.telemetry.inc("repair.cells_changed", len(repair.changes))
         self._repairs[relation_name] = repair
         return repair
+
+    def _hydrate_repair(self, relation_name: str, repair: Repair) -> Repair:
+        """Expand a backend-resident repair to full-relation form.
+
+        A resident repair's ``original``/``repaired`` hold only the partial
+        relation the planner fetched; review and the replace-style apply
+        path need whole relations, so the change list (the complete ground
+        truth) is replayed over a copy of the working store.
+        """
+        original = self.database.relation(relation_name)
+        repaired = original.copy()
+        for change in repair.changes:
+            if change.tid in repaired:
+                repaired.update(change.tid, {change.attribute: change.new_value})
+        return Repair(
+            original=original,
+            repaired=repaired,
+            changes=repair.changes,
+            iterations=repair.iterations,
+            residual_violations=repair.residual_violations,
+            source=repair.source,
+        )
 
     def review(self, relation_name: str) -> RepairReview:
         """An interactive review of the latest candidate repair."""
         if relation_name not in self._repairs:
             self.repair(relation_name)
-        return RepairReview(
-            self._repairs[relation_name], self.constraints.cfds(relation_name)
-        )
+        repair = self._repairs[relation_name]
+        if repair.source == "backend":
+            repair = self._hydrate_repair(relation_name, repair)
+        return RepairReview(repair, self.constraints.cfds(relation_name))
 
     def apply_repair(self, relation_name: str, reviewed: Optional[Relation] = None) -> Relation:
         """Replace the stored relation with the repaired (or reviewed) version.
@@ -334,6 +384,10 @@ class Semandaq:
             raise ConfigurationError(
                 f"no candidate repair for {relation_name!r}; call repair() first"
             )
+        if reviewed is None and self._repairs[relation_name].source == "backend":
+            return self._apply_repair_resident(
+                relation_name, self._repairs[relation_name]
+            )
         new_relation = reviewed or self._repairs[relation_name].repaired
         replacement = new_relation.copy()
         old_relation = (
@@ -348,6 +402,51 @@ class Semandaq:
             # the retired monitor is bound to the replaced Relation object;
             # detach it so a reference still held by user code cannot keep
             # mirroring ghost deltas into the backend copy of the new data
+            retired = self._monitors.pop(relation_name)
+            retired.detach_backend()
+            self._monitors[relation_name] = self._make_monitor(relation_name, cleansed=True)
+        return replacement
+
+    def _apply_repair_resident(self, relation_name: str, repair: Repair) -> Relation:
+        """Apply a backend-resident repair without materialising the relation.
+
+        The repair's change list is the complete ground truth, so the
+        replacement relation is rebuilt from the working copy plus the
+        changes (a Python-side copy — the backend is never asked to ship
+        rows back) and the same changes travel to the backend as one
+        :class:`DeltaBatch`.  A pushed-down ``detect_for_tuples`` over the
+        changed tids is the safety net that replaces the native
+        ``verify_untouched`` walk (any violations it still finds are
+        surfaced as the ``repair.post_check_violations`` counter).
+        """
+        replacement = self._hydrate_repair(relation_name, repair).repaired
+        self.database.add_relation(replacement, replace=True)
+        batch = DeltaBatch(relation=relation_name)
+        for change in repair.changes:
+            if change.tid in replacement:
+                batch.record_update(change.tid, {change.attribute: change.new_value})
+        monitor = self._monitors.get(relation_name)
+        if self._backend_shared:
+            pass
+        elif (
+            relation_name not in self._synced
+            or relation_name in self._stale
+            or (monitor is not None and monitor.backend_desynced)
+        ):
+            self._sync_backend(relation_name)
+        elif not batch.is_empty():
+            self.backend.apply_delta_batch(relation_name, batch)
+            self.telemetry.inc("sync.delta_batches")
+        self._reports.pop(relation_name, None)
+        changed = sorted(repair.changed_tids())
+        if changed:
+            post = self.detector.detect_for_tuples(
+                relation_name, self.constraints.cfds(relation_name), changed
+            )
+            self.telemetry.inc(
+                "repair.post_check_violations", post.total_violations()
+            )
+        if relation_name in self._monitors:
             retired = self._monitors.pop(relation_name)
             retired.detach_backend()
             self._monitors[relation_name] = self._make_monitor(relation_name, cleansed=True)
@@ -501,16 +600,30 @@ class Semandaq:
     # -- one-shot pipeline ------------------------------------------------------------------------------
 
     def clean(self, relation_name: str) -> Dict[str, Any]:
-        """Detect → audit → repair → apply, returning a summary of each step."""
+        """Detect → repair → apply, returning a summary of each step.
+
+        The dirty percentage is derived from the detection report (tuples
+        involved in at least one violation) rather than the auditor's
+        classification, so the backend-resident and native repair paths
+        report identical summaries; call :meth:`audit` for the finer
+        clean/dirty categorisation.  On the resident path every stage runs
+        against the storage backend and only result-sized rows —
+        violations, group members, aggregates, the repair diff — cross the
+        boundary.
+        """
         report = self.detect(relation_name)
-        audit = self.audit(relation_name)
+        dirty_pct = (
+            100.0 * len(report.dirty_tids()) / report.tuple_count
+            if report.tuple_count
+            else 0.0
+        )
         repair = self.repair(relation_name)
         self.apply_repair(relation_name)
         post_report = self.detect(relation_name)
         return {
             "violations_before": report.total_violations(),
             "dirty_tuples_before": len(report.dirty_tids()),
-            "dirty_percentage_before": audit.dirty_percentage(),
+            "dirty_percentage_before": dirty_pct,
             "cells_changed": len(repair.changes),
             "repair_cost": repair.total_cost,
             "violations_after": post_report.total_violations(),

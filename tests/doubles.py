@@ -1,16 +1,20 @@
-"""Shared test doubles pinning the backend-resident detection contract.
+"""Shared test doubles pinning the backend-resident detection *and repair* contract.
 
 Two stand-ins enforce "zero working-store reads" from opposite sides:
 
-* :class:`ForbiddenRelation` replaces a detector's in-memory
+* :class:`ForbiddenRelation` replaces an in-memory
   :class:`~repro.engine.relation.Relation` — any attribute access fails the
-  test (used against the incremental detector's ``report()``);
+  test.  Used against the incremental detector's ``report()`` and, since
+  PR 7, swapped into ``Database._relations`` to pin that the
+  backend-resident ``repair()`` plans without ever touching the working
+  relation;
 * :class:`ForbiddenReadBackend` wraps a real
   :class:`~repro.backends.base.StorageBackend` and fails the test on any
   *row-shipping* read (``to_relation`` / ``get_row`` / ``iter_rows``) while
   delegating catalog ops, query execution and writes — the batch detector
   must run ``detect`` / ``detect_for_tuples`` through it untouched, on
-  every backend.
+  every backend, and the backend-resident repair path
+  (``clean()`` / ``apply_repair``) must do the same.
 """
 
 from __future__ import annotations
@@ -19,20 +23,33 @@ from repro.backends.base import StorageBackend
 
 
 class ForbiddenRelation:
-    """A stand-in that fails the test on any working-store access."""
+    """A stand-in that fails the test on any working-store access.
+
+    The dunder hooks Python resolves on the *type* (``len``, ``in``,
+    iteration) are spelled out explicitly — ``__getattr__`` alone would
+    let ``tid in relation`` surface as a ``TypeError`` instead of the
+    diagnostic assertion.
+    """
 
     def __init__(self, name):
         self._name = name
 
-    def __getattr__(self, attribute):
+    def _forbidden(self, access):
         raise AssertionError(
-            f"report assembly read working store: {self._name}.{attribute}"
+            f"working store was read: {access} on forbidden relation {self._name!r}"
         )
 
+    def __getattr__(self, attribute):
+        self._forbidden(f"{self._name}.{attribute}")
+
     def __len__(self):
-        raise AssertionError(
-            f"report assembly read working store: len({self._name})"
-        )
+        self._forbidden(f"len({self._name})")
+
+    def __contains__(self, tid):
+        self._forbidden(f"{tid} in {self._name}")
+
+    def __iter__(self):
+        self._forbidden(f"iter({self._name})")
 
 
 class ForbiddenReadBackend(StorageBackend):
