@@ -92,6 +92,7 @@ class SqliteBackend(StorageBackend):
         synchronous: str = "NORMAL",
         max_parameters: Optional[int] = None,
         row_values: Optional[bool] = None,
+        window_functions: Optional[bool] = None,
         cached_statements: int = STATEMENT_CACHE_SIZE,
     ):
         self.path = str(path)
@@ -110,10 +111,15 @@ class SqliteBackend(StorageBackend):
         # stdlib exposes it (Python 3.11+); older builds keep the portable
         # 999 floor.  ``max_parameters``/``row_values`` override the probe —
         # e.g. to force the portable chunking against a capped server.
+        # ``window_functions`` likewise overrides the library-version probe
+        # the detect-plan auto-selection branches on — False simulates an
+        # old (pre-3.25) SQLite, pinning the legacy fallback.
         if max_parameters is None:
             max_parameters = self._probe_parameter_limit()
         self.dialect = SqliteDialect(
-            max_parameters=max_parameters, supports_row_values=row_values
+            max_parameters=max_parameters,
+            supports_row_values=row_values,
+            supports_window_functions=window_functions,
         )
         # The dialect renders FLOAT columns with pystr(...) so the string
         # encoding matches Python's str() exactly (CAST AS TEXT disagrees on

@@ -4,8 +4,17 @@ The paper stresses that "CFDs allow for a relational representation [3], the
 constraint engine maximally leverages the use of indices and other
 optimizations provided by DBMS in the storage and manipulation of CFDs".
 This module materialises the pattern tableau of a CFD as a relation whose
-columns are the CFD's attributes (wildcards encoded as the ``_`` token),
-which is exactly what the SQL-based detection queries join against.
+columns are the CFD's attributes (wildcards encoded as SQL NULL), which is
+exactly what the SQL-based detection queries join against.
+
+Wildcards used to be stored as the literal ``_`` token, which made a
+*constant* whose value is literally ``'_'`` (constructible through
+:meth:`~repro.core.pattern.PatternValue.const`) indistinguishable from a
+wildcard on the SQL detection paths while the native path treated it as the
+constant it is.  NULL cannot collide with any constant — ``const(None)``
+is rejected at construction — so the encoding is now NULL for wildcards
+and ``str(constant)`` for constants, and the generated predicates test
+``tab.X IS NULL`` instead of ``tab.X = '_'``.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from ..errors import CfdError
 from ..engine.relation import Relation
 from ..engine.types import AttributeDef, DataType, RelationSchema
 from .cfd import CFD
-from .pattern import PatternTuple, PatternValue, WILDCARD_TOKEN
+from .pattern import PatternTuple, PatternValue
 
 #: Name of the extra column holding the pattern-tuple index in the encoding.
 PATTERN_ID_COLUMN = "pattern_id"
@@ -65,9 +74,10 @@ def tableau_schema(cfd: CFD, relation_name: Optional[str] = None) -> RelationSch
 def tableau_to_relation(cfd: CFD, relation_name: Optional[str] = None) -> Relation:
     """Materialise the pattern tableau of ``cfd`` as a relation.
 
-    Every pattern value is stored as a string; wildcards are stored as the
-    ``_`` token.  The extra ``pattern_id`` column numbers the pattern tuples
-    so detection results can point back to the exact pattern violated.
+    Every constant is stored as its string encoding; wildcards are stored
+    as NULL (which no constant can collide with).  The extra ``pattern_id``
+    column numbers the pattern tuples so detection results can point back
+    to the exact pattern violated.
     """
     schema = tableau_schema(cfd, relation_name)
     relation = Relation(schema)
@@ -97,14 +107,16 @@ def relation_to_tableau(cfd_shape: CFD, relation: Relation) -> CFD:
     return cfd_shape.with_patterns(patterns)
 
 
-def _encode_value(value: PatternValue) -> str:
+def _encode_value(value: PatternValue) -> Optional[str]:
     if value.is_wildcard:
-        return WILDCARD_TOKEN
+        return None
     return str(value.constant)
 
 
 def _decode_value(raw: object) -> PatternValue:
-    if raw is None or raw == WILDCARD_TOKEN:
+    # NULL is the wildcard encoding; every non-NULL string — including a
+    # literal '_' — decodes to the constant it is
+    if raw is None:
         return PatternValue.wildcard()
     return PatternValue.const(raw)
 

@@ -2,7 +2,13 @@
 
 from .detector import ErrorDetector
 from .incremental import IncrementalDetector
-from .sqlgen import DetectionQueries, DetectionSqlGenerator
+from .sqlgen import (
+    DETECT_PLANS,
+    DetectionQueries,
+    DetectionSqlGenerator,
+    default_detect_plan,
+    resolve_detect_plan,
+)
 from .violations import MULTI, SINGLE, Violation, ViolationReport
 
 __all__ = [
@@ -10,6 +16,9 @@ __all__ = [
     "IncrementalDetector",
     "DetectionQueries",
     "DetectionSqlGenerator",
+    "DETECT_PLANS",
+    "default_detect_plan",
+    "resolve_detect_plan",
     "Violation",
     "ViolationReport",
     "SINGLE",

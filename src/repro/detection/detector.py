@@ -52,6 +52,7 @@ from .sqlgen import (
     LHS_COLUMN_PREFIX,
     DetectionSqlGenerator,
     SqlQuery,
+    default_detect_plan,
     tableau_relation_name,
 )
 from .violations import MULTI, SINGLE, Violation, ViolationReport
@@ -96,6 +97,7 @@ class ErrorDetector:
         database: Union[Database, StorageBackend],
         use_sql: bool = True,
         telemetry: Optional[Telemetry] = None,
+        detect_plan: Optional[str] = None,
     ):
         #: telemetry context statements and spans are recorded under; the
         #: shared disabled default costs one attribute check per call site
@@ -111,6 +113,9 @@ class ErrorDetector:
         #: the wrapped in-memory database, when the backend exposes one
         self.database = getattr(self.backend, "database", None)
         self.use_sql = use_sql
+        #: requested detection plan family (``None`` = environment/auto);
+        #: each generator resolves it against its dialect's capabilities
+        self.detect_plan = detect_plan
         #: SQL statements issued by the last ``detect`` call (for inspection).
         self.last_sql: List[str] = []
         #: one generator (and prepared-plan cache) per detected relation
@@ -129,6 +134,8 @@ class ErrorDetector:
         self.last_sql = []
         if self.use_sql:
             schema, tuple_count = self._sql_preamble(relation_name, cfds)
+            generator = self._generator_for(relation_name, schema)
+            self.telemetry.inc(f"detect.plan_variant.{generator.detect_plan}")
             relation: Optional[Relation] = None
         else:
             relation = self.backend.to_relation(relation_name)
@@ -189,6 +196,7 @@ class ErrorDetector:
         restrict = sorted(wanted)
         if restrict:
             generator = self._generator_for(relation_name, schema)
+            self.telemetry.inc(f"detect.plan_variant.{generator.detect_plan}")
             for index, cfd in enumerate(cfds):
                 # the affected LHS-value groups depend on the (parent)
                 # LHS alone, so one backend lookup serves every RHS
@@ -267,12 +275,22 @@ class ErrorDetector:
         prepared-plan cache effective: repeated detections over the same
         CFDs reuse the rendered ``Q_C``/``Q_V``/members statements.
         """
+        requested = (
+            self.detect_plan if self.detect_plan is not None else default_detect_plan()
+        )
         generator = self._generators.get(relation_name)
         if generator is None or generator.schema != schema:
             generator = DetectionSqlGenerator(
-                schema, dialect=self.backend.dialect, telemetry=self.telemetry
+                schema,
+                dialect=self.backend.dialect,
+                telemetry=self.telemetry,
+                detect_plan=requested,
             )
             self._generators[relation_name] = generator
+        elif generator.requested_detect_plan != requested:
+            # detect_plan flipped mid-session: re-resolve in place — the
+            # variant-keyed plan cache guarantees no stale shape is served
+            generator.set_detect_plan(requested)
         return generator
 
     def _detect_sql(
@@ -297,17 +315,16 @@ class ErrorDetector:
         self.backend.add_relation(tableau, replace=True)
         try:
             if restrict_tids is None:
-                single = generator.single_tuple_query(
+                single_queries = generator.plan_single_queries(
                     cfd, tableau_name, include_lhs=True
                 )
-                single_queries = [single] if single is not None else []
-                multi_queries = list(generator.multi_tuple_queries(cfd, tableau_name))
+                multi_queries = generator.plan_multi_queries(cfd, tableau_name)
                 wanted: Optional[Set[int]] = None
             else:
-                single_queries = generator.delta_plans_single(
+                single_queries = generator.plan_delta_single(
                     cfd, tableau_name, restrict_tids
                 )
-                multi_queries = generator.delta_plans_multi(
+                multi_queries = generator.plan_delta_multi(
                     cfd, tableau_name, cfd.rhs[0], list(restrict_keys or [])
                 )
                 wanted = set(restrict_tids)
@@ -372,7 +389,12 @@ class ErrorDetector:
         for query in queries:
             for row in self._execute(query):
                 tid = row["tid"]
-                pattern_index = int(row.get("pattern_id", 0))
+                # per-pattern specialized statements carry their pattern on
+                # the query; the legacy tableau join carries it per row
+                if query.pattern_index is not None:
+                    pattern_index = query.pattern_index
+                else:
+                    pattern_index = int(row.get("pattern_id", 0))
                 if tid not in chosen or pattern_index < chosen[tid][0]:
                     lhs_raw = tuple(
                         row.get(LHS_COLUMN_PREFIX + attr) for attr in cfd.lhs
@@ -416,21 +438,39 @@ class ErrorDetector:
         # representation until the final decode, so the members plans bind
         # exactly what the engine compares against.
         grouped: Dict[Tuple[Any, ...], int] = {}
-        for query in queries:
-            for row in self._execute(query):
-                lhs_values = tuple(row[attr] for attr in cfd.lhs)
-                pattern_index = int(row.get("pattern_id", 0))
-                if lhs_values not in grouped or pattern_index < grouped[lhs_values]:
-                    grouped[lhs_values] = pattern_index
-        if not grouped:
-            return []
-        members: Dict[Tuple[Any, ...], List[int]] = {}
-        for plan in generator.covering_members_plans(
-            cfd, tableau_name, rhs_attribute, list(grouped)
-        ):
-            for row in self._execute(plan):
-                key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
-                members.setdefault(key, []).append(row["tid"])
+        members: Dict[Tuple[Any, ...], Set[int]] = {}
+        if generator.one_pass_multi:
+            # window family: the statements return member rows directly —
+            # bucket them per group key; the member set is a property of
+            # the key alone, so overlapping patterns just re-deliver it
+            for query in queries:
+                pattern_index = query.pattern_index or 0
+                for row in self._execute(query):
+                    key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                    if key not in grouped or pattern_index < grouped[key]:
+                        grouped[key] = pattern_index
+                    members.setdefault(key, set()).add(row["tid"])
+        else:
+            for query in queries:
+                for row in self._execute(query):
+                    lhs_values = tuple(row[attr] for attr in cfd.lhs)
+                    if query.pattern_index is not None:
+                        pattern_index = query.pattern_index
+                    else:
+                        pattern_index = int(row.get("pattern_id", 0))
+                    if (
+                        lhs_values not in grouped
+                        or pattern_index < grouped[lhs_values]
+                    ):
+                        grouped[lhs_values] = pattern_index
+            if not grouped:
+                return []
+            for plan in generator.covering_members_plans(
+                cfd, tableau_name, rhs_attribute, list(grouped)
+            ):
+                for row in self._execute(plan):
+                    key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                    members.setdefault(key, set()).add(row["tid"])
         violations: List[Violation] = []
         for lhs_values, pattern_index in grouped.items():
             tids = sorted(members.get(lhs_values, []))

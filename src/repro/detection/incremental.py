@@ -137,6 +137,7 @@ class IncrementalDetector:
         mirror: Optional[StorageBackend] = None,
         mode: str = NATIVE_MODE,
         delta_plan: str = "auto",
+        detect_plan: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
     ):
         if mode not in INCREMENTAL_MODES:
@@ -211,7 +212,11 @@ class IncrementalDetector:
                 self.relation.schema,
                 dialect=self._query_backend.dialect,
                 delta_plan=delta_plan,
+                detect_plan=detect_plan,
                 telemetry=self.telemetry,
+            )
+            self.telemetry.inc(
+                f"detect.plan_variant.{self._generator.detect_plan}"
             )
             self._materialise_tableaux()
             self._initialise_sql()
@@ -312,15 +317,15 @@ class IncrementalDetector:
             unit.singles.clear()
             unit.single_lhs.clear()
             unit.multi.clear()
-            single = self._generator.single_tuple_query(
+            for query in self._generator.plan_single_queries(
                 unit.cfd, unit.tableau_name, include_lhs=True
-            )
-            if single is not None:
-                self._absorb_single_rows(unit, self._execute_delta(single))
-            for query in self._generator.multi_tuple_queries(
-                unit.cfd, unit.tableau_name
             ):
-                self._absorb_multi_rows(unit, self._execute_delta(query))
+                self._absorb_single_rows(
+                    unit, self._execute_delta(query), query.pattern_index
+                )
+            self._absorb_multi_queries(
+                unit, self._generator.plan_multi_queries(unit.cfd, unit.tableau_name)
+            )
 
     def _execute_delta(self, query: SqlQuery) -> List[Dict[str, Any]]:
         self.delta_queries += 1
@@ -334,16 +339,26 @@ class IncrementalDetector:
         """Decode one backend-stored value (shared with the batch detector)."""
         return decode_backend_value(self._schema, attribute, value)
 
-    def _absorb_single_rows(self, unit: _WorkUnit, rows: List[Dict[str, Any]]) -> None:
+    def _absorb_single_rows(
+        self,
+        unit: _WorkUnit,
+        rows: List[Dict[str, Any]],
+        pattern_override: Optional[int] = None,
+    ) -> None:
         """Fold ``Q_C`` result rows into ``unit.singles`` (lowest pattern wins).
 
         The rows carry the tuple's LHS values (``lhs_*`` columns), which
         are decoded and kept so :meth:`report` assembles single-tuple
-        violations from backend rows alone.
+        violations from backend rows alone.  ``pattern_override`` labels
+        rows from the specialized per-pattern statements, which carry no
+        ``pattern_id`` column.
         """
         for row in rows:
             tid = row["tid"]
-            pattern_index = int(row.get("pattern_id", 0))
+            if pattern_override is not None:
+                pattern_index = pattern_override
+            else:
+                pattern_index = int(row.get("pattern_id", 0))
             if tid not in unit.singles or pattern_index < unit.singles[tid]:
                 unit.singles[tid] = pattern_index
                 unit.single_lhs[tid] = tuple(
@@ -351,39 +366,57 @@ class IncrementalDetector:
                     for attr in unit.cfd.lhs
                 )
 
-    def _absorb_multi_rows(self, unit: _WorkUnit, rows: List[Dict[str, Any]]) -> None:
-        """Fold ``Q_V`` result rows into ``unit.multi``.
+    def _absorb_multi_queries(
+        self, unit: _WorkUnit, queries: Sequence[SqlQuery]
+    ) -> None:
+        """Execute the ``Q_V`` statements and fold the results into ``unit.multi``.
 
-        The query groups by (LHS values, pattern id), so an LHS group
-        covered by several overlapping patterns comes back once per
-        matching pattern; each group is kept once, under its lowest
-        violating pattern index — the rule every detection path follows.
-        Group membership is enumerated by the covering members plan
-        against the backend copy (the working store is never consulted).
+        An LHS group covered by several overlapping patterns comes back
+        once per matching pattern — from the legacy (LHS, pattern_id)
+        grouping or from the specialized per-pattern statements; each
+        group is kept once, under its lowest violating pattern index — the
+        rule every detection path follows.  One-pass window statements
+        deliver member rows directly; the grouped shapes enumerate
+        membership with one covering-members pass over the union of their
+        group keys, against the backend copy (the working store is never
+        consulted).  Keys stay in the *backend's* value representation
+        until the final decode, so the ``Q_V`` keys and the members keys
+        hash identically.
         """
         cfd = unit.cfd
         grouped: Dict[Tuple[Any, ...], int] = {}
-        for row in rows:
-            lhs_values = tuple(row[attr] for attr in cfd.lhs)
-            pattern_index = int(row.get("pattern_id", 0))
-            if lhs_values not in grouped or pattern_index < grouped[lhs_values]:
-                grouped[lhs_values] = pattern_index
-        if not grouped:
-            return
-        # Member tids per group key, keyed by the *backend's* value
-        # representation so the Q_V keys and the members keys hash
-        # identically (both come from the same backend).  Membership is a
-        # function of the key alone, so one covering-index enumeration
-        # (no tableau join) serves every pattern.
-        members: Dict[Tuple[Any, ...], List[int]] = {}
-        for plan in self._generator.covering_members_plans(
-            cfd, unit.tableau_name, unit.rhs_attribute, list(grouped)
-        ):
-            for row in self._execute_delta(plan):
-                key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
-                members.setdefault(key, []).append(row["tid"])
+        members: Dict[Tuple[Any, ...], Set[int]] = {}
+        if self._generator.one_pass_multi:
+            for query in queries:
+                pattern_index = query.pattern_index or 0
+                for row in self._execute_delta(query):
+                    key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                    if key not in grouped or pattern_index < grouped[key]:
+                        grouped[key] = pattern_index
+                    members.setdefault(key, set()).add(row["tid"])
+        else:
+            for query in queries:
+                for row in self._execute_delta(query):
+                    lhs_values = tuple(row[attr] for attr in cfd.lhs)
+                    if query.pattern_index is not None:
+                        pattern_index = query.pattern_index
+                    else:
+                        pattern_index = int(row.get("pattern_id", 0))
+                    if (
+                        lhs_values not in grouped
+                        or pattern_index < grouped[lhs_values]
+                    ):
+                        grouped[lhs_values] = pattern_index
+            if not grouped:
+                return
+            for plan in self._generator.covering_members_plans(
+                cfd, unit.tableau_name, unit.rhs_attribute, list(grouped)
+            ):
+                for row in self._execute_delta(plan):
+                    key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                    members.setdefault(key, set()).add(row["tid"])
         for key, pattern_index in grouped.items():
-            tids = members.get(key, [])
+            tids = members.get(key, set())
             if len(tids) < 2:
                 continue
             decoded = tuple(
@@ -406,10 +439,12 @@ class IncrementalDetector:
             for tid in touched_tids:
                 unit.singles.pop(tid, None)
                 unit.single_lhs.pop(tid, None)
-            for plan in self._generator.delta_plans_single(
+            for plan in self._generator.plan_delta_single(
                 unit.cfd, unit.tableau_name, touched_tids
             ):
-                self._absorb_single_rows(unit, self._execute_delta(plan))
+                self._absorb_single_rows(
+                    unit, self._execute_delta(plan), plan.pattern_index
+                )
             if not unit.cfd.lhs or not unit.wildcard_rhs:
                 continue
             keys = self._affected_keys(unit, touched)
@@ -417,10 +452,12 @@ class IncrementalDetector:
                 continue
             for key in keys:
                 unit.multi.pop(key, None)
-            for plan in self._generator.delta_plans_multi(
-                unit.cfd, unit.tableau_name, unit.rhs_attribute, keys
-            ):
-                self._absorb_multi_rows(unit, self._execute_delta(plan))
+            self._absorb_multi_queries(
+                unit,
+                self._generator.plan_delta_multi(
+                    unit.cfd, unit.tableau_name, unit.rhs_attribute, keys
+                ),
+            )
 
     def _affected_keys(
         self, unit: _WorkUnit, touched: Sequence[_Touched]

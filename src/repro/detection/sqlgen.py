@@ -12,19 +12,46 @@ relational encoding of the pattern tableau ``Tp``:
   pattern of some pattern tuple whose RHS is the wildcard ``_`` by their LHS
   values and keeps the groups with more than one distinct RHS value.
 
-Wildcards are encoded as the literal ``'_'`` inside the tableau relation, so
+Wildcards are encoded as SQL NULL inside the tableau relation (a constant
+whose value is literally ``'_'`` therefore cannot be misread as one), so
 the matching predicate for an LHS attribute ``X`` is
-``(tab.X = '_' OR tab.X = t.X)``.  For non-string attributes the data side is
-rendered as a string through the backend's
+``(tab.X IS NULL OR tab.X = t.X)``.  For non-string attributes the data
+side is rendered as a string through the backend's
 :class:`~repro.backends.dialect.SqlDialect` (``CONCAT(...)`` on the embedded
 engine, ``CAST(... AS TEXT)`` on SQLite), so the comparison happens on the
 string encoding used by the tableau.  The generator is dialect-aware: the
 same :class:`DetectionQueries` run unmodified on every registered backend.
 
-On dialects that support query parameters, inline literal values (the
-wildcard token) travel out-of-band as ``?`` parameters — SQL strings never
-embed data values there.  The in-memory dialect keeps the legacy inline
-quoting (:func:`_quote`), which is the only remaining user of it.
+Beyond the legacy tableau-joined queries the generator compiles two further
+*detection plan families*, selected by ``detect_plan``:
+
+* ``sargable`` — each tableau pattern row becomes its own statement whose
+  constant LHS positions render as parameter-bound equalities
+  (``t.A = ?``), riding the auto-built CFD-LHS index the way the covering
+  members plan already does; wildcard-only patterns collapse into a single
+  grouped query (per-pattern statements with identical SQL are emitted
+  once, labelled with the lowest pattern index).  Statement kinds:
+  ``q_c_sargable`` / ``q_v_sargable``.
+* ``window`` — ``Q_C`` keeps the sargable specialization, but ``Q_V``
+  becomes a *one-pass* plan that returns the violating groups **and**
+  their member rows in a single statement, eliminating the
+  detect→covering-members round trip.  On dialects with true DISTINCT
+  window aggregates it is ``COUNT(DISTINCT rhs) OVER (PARTITION BY
+  lhs...)``; SQLite (which rejects DISTINCT in window functions at every
+  version) gets the JOIN-on-aggregate rewrite.  Statement kind:
+  ``q_window``.
+
+``detect_plan="auto"`` resolves to ``window`` where the dialect can
+evaluate it (SQLite 3.25+) and falls back to ``legacy`` elsewhere (the
+embedded engine, old SQLite); an explicit ``window`` request on an
+incapable dialect falls back the same way.  ``sargable`` runs on every
+dialect.  The resolved variant is part of every prepared-plan cache key,
+so flipping ``detect_plan`` mid-session can never serve a stale shape.
+
+On dialects that support query parameters, inline literal values (pattern
+constants in the specialized plans) travel out-of-band as ``?``
+parameters — SQL strings never embed data values there.  The in-memory
+dialect keeps the legacy inline quoting (:func:`_quote`).
 
 Delta variants of the queries (the ``delta_plans_*`` family) restrict
 re-evaluation to the tuples / LHS-value groups an update batch touched.
@@ -69,12 +96,12 @@ Two plan-quality mechanisms sit on top of the query builders:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..backends.dialect import MEMORY_DIALECT, SqlDialect
 from ..core.cfd import CFD
-from ..core.pattern import WILDCARD_TOKEN
 from ..core.tableau import PATTERN_ID_COLUMN
 from ..engine.types import DataType, RelationSchema
 from ..errors import DetectionError
@@ -89,9 +116,54 @@ TABLEAU_ALIAS = "tab"
 #: shape, ``portable`` forces the OR-of-conjunctions form everywhere
 DELTA_PLANS = ("auto", "portable")
 
+#: detection plan families: ``auto`` picks per dialect capability,
+#: ``legacy`` keeps the tableau-joined queries, ``sargable`` specializes
+#: per pattern row with index-friendly constant equalities, ``window``
+#: adds the one-pass group+members ``Q_V``
+DETECT_PLANS = ("auto", "legacy", "sargable", "window")
+
+#: environment switch pre-selecting the detection plan family (used by CI
+#: to force the legacy shape on a modern library); an explicit
+#: ``detect_plan`` argument always wins over it
+DETECT_PLAN_ENV = "SEMANDAQ_DETECT_PLAN"
+
 #: column-alias prefix for the LHS values a delta ``Q_C`` carries so the
 #: caller can assemble violation reports without touching the data store
 LHS_COLUMN_PREFIX = "lhs_"
+
+
+def default_detect_plan() -> str:
+    """The detection plan family used when the caller does not pick one.
+
+    ``SEMANDAQ_DETECT_PLAN`` (when set to a known family) overrides the
+    ``auto`` default, so a CI leg can pin every detector in a process to
+    one plan shape without threading configuration through each test.
+    """
+    value = os.environ.get(DETECT_PLAN_ENV, "").strip().lower()
+    if value in DETECT_PLANS:
+        return value
+    return "auto"
+
+
+def resolve_detect_plan(requested: str, dialect: SqlDialect) -> str:
+    """Resolve a requested plan family against the dialect's capabilities.
+
+    ``legacy`` and ``sargable`` run everywhere.  ``window`` (and ``auto``,
+    which prefers it) needs window functions or DISTINCT window
+    aggregates; on a dialect with neither — the embedded engine, SQLite
+    before 3.25 — both fall back cleanly to ``legacy`` so the five-path
+    parity guarantees hold on every combination.
+    """
+    if requested not in DETECT_PLANS:
+        raise DetectionError(
+            f"unknown detect_plan {requested!r}; "
+            f"expected one of {', '.join(DETECT_PLANS)}"
+        )
+    if requested in ("legacy", "sargable"):
+        return requested
+    if dialect.supports_window_functions or dialect.supports_count_distinct_over:
+        return "window"
+    return "legacy"
 
 
 def _quote(value: str) -> str:
@@ -109,15 +181,19 @@ class SqlQuery:
     the RHS attribute a ``Q_V`` query detects disagreements on (``None``
     for the other query kinds).  ``kind`` is the statement-kind tag the
     telemetry layer buckets executions under (``q_c``, ``q_v``,
-    ``delta_single``, ``covering_members``, ...); detectors announce it to
-    the instrumented backend via
+    ``q_c_sargable``, ``q_window``, ``delta_single``, ``covering_members``,
+    ...); detectors announce it to the instrumented backend via
     :meth:`~repro.obs.telemetry.Telemetry.tag_statements`.
+    ``pattern_index`` is set on the per-pattern specialized plans (the
+    sargable and window families), whose statements carry no
+    ``pattern_id`` column — the pattern is implicit in the statement.
     """
 
     sql: str
     parameters: Tuple[Any, ...] = ()
     rhs_attribute: Optional[str] = None
     kind: Optional[str] = None
+    pattern_index: Optional[int] = None
 
     def __str__(self) -> str:
         return self.sql
@@ -164,6 +240,9 @@ class DetectionSqlGenerator:
     delta queries: ``"auto"`` (default) branches on the dialect's
     capabilities, ``"portable"`` forces the OR-of-conjunctions form even
     where row values are available (the debugging / fallback policy).
+    ``detect_plan`` selects the detection plan family (see
+    :data:`DETECT_PLANS`); ``None`` means :func:`default_detect_plan`
+    (the ``SEMANDAQ_DETECT_PLAN`` environment switch or ``auto``).
     """
 
     def __init__(
@@ -172,6 +251,7 @@ class DetectionSqlGenerator:
         dialect: Optional[SqlDialect] = None,
         delta_plan: str = "auto",
         telemetry: Optional["Telemetry"] = None,
+        detect_plan: Optional[str] = None,
     ):
         if delta_plan not in DELTA_PLANS:
             raise DetectionError(
@@ -182,6 +262,14 @@ class DetectionSqlGenerator:
         self.dialect = dialect or MEMORY_DIALECT
         self.delta_plan = delta_plan
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: the requested plan family and its dialect-resolved variant;
+        #: :meth:`set_detect_plan` re-resolves both
+        self.requested_detect_plan = (
+            default_detect_plan() if detect_plan is None else detect_plan
+        )
+        self.detect_plan = resolve_detect_plan(
+            self.requested_detect_plan, self.dialect
+        )
         #: prepared-plan cache: (kind, cfd, tableau, rhs, chunk shape) -> query.
         #: SqlQuery is frozen, so cached plans are safe to share; entries
         #: scoped to a tableau are dropped by :meth:`invalidate_plans`.
@@ -195,19 +283,35 @@ class DetectionSqlGenerator:
 
     # -- prepared-plan cache -----------------------------------------------------
 
+    def set_detect_plan(self, detect_plan: str) -> None:
+        """Switch the plan family mid-session.
+
+        The resolved variant is appended to every cache key, so plans
+        compiled under the previous family are simply never matched again —
+        a flip can serve a stale shape on no code path.
+        """
+        self.requested_detect_plan = detect_plan
+        self.detect_plan = resolve_detect_plan(detect_plan, self.dialect)
+
     def _cached_plan(self, key: Tuple[Any, ...], build) -> Optional[SqlQuery]:
         """Memoise one built query under ``key`` (None results included).
 
         ``key[2]`` is always the tableau name the plan is scoped to (or
         ``None`` for tableau-independent plans), which is what
-        :meth:`invalidate_plans` sweeps on.
+        :meth:`invalidate_plans` sweeps on.  The resolved plan variant is
+        appended to every key, so two families can never share an entry
+        and the hit/miss counters account per variant
+        (``plan_cache.hits.<variant>``).
         """
+        key = key + (self.detect_plan,)
         if key in self._plan_cache:
             self.plan_cache_hits += 1
             self.telemetry.inc("plan_cache.hits")
+            self.telemetry.inc(f"plan_cache.hits.{self.detect_plan}")
             return self._plan_cache[key]
         self.plan_cache_misses += 1
         self.telemetry.inc("plan_cache.misses")
+        self.telemetry.inc(f"plan_cache.misses.{self.detect_plan}")
         plan = build()
         self._plan_cache[key] = plan
         return plan
@@ -263,26 +367,29 @@ class DetectionSqlGenerator:
         dtype = self.schema.attribute(attribute).dtype
         return self.dialect.string_expr(f"{DATA_ALIAS}.{attribute}", dtype)
 
-    def _wildcard(self, params: List[Any]) -> str:
-        """Render the wildcard-token literal: a ``?`` parameter when supported."""
+    def _bind_literal(self, value: str, params: List[Any]) -> str:
+        """Render a string literal: a ``?`` parameter when supported."""
         if self.dialect.supports_parameters:
-            params.append(WILDCARD_TOKEN)
+            params.append(value)
             return "?"
-        return _quote(WILDCARD_TOKEN)
+        return _quote(value)
 
-    def _match_predicate(self, attribute: str, params: List[Any]) -> str:
-        """The per-attribute LHS matching predicate against the tableau."""
+    def _match_predicate(self, attribute: str) -> str:
+        """The per-attribute LHS matching predicate against the tableau.
+
+        NULL is the wildcard encoding, so a tableau cell matches when it is
+        NULL (wildcard) or equals the data value's string encoding; a
+        constant whose value is literally ``'_'`` compares like any other.
+        """
         tab_column = f"{TABLEAU_ALIAS}.{attribute}"
         data_column = self._data_column(attribute)
-        return (
-            f"({tab_column} = {self._wildcard(params)} OR {tab_column} = {data_column})"
-        )
+        return f"({tab_column} IS NULL OR {tab_column} = {data_column})"
 
-    def _lhs_conditions(self, cfd: CFD, params: List[Any]) -> List[str]:
+    def _lhs_conditions(self, cfd: CFD) -> List[str]:
         conditions: List[str] = []
         for attribute in cfd.lhs:
             conditions.append(f"{DATA_ALIAS}.{attribute} IS NOT NULL")
-            conditions.append(self._match_predicate(attribute, params))
+            conditions.append(self._match_predicate(attribute))
         return conditions
 
     # -- query generation ---------------------------------------------------------
@@ -336,13 +443,16 @@ class DetectionSqlGenerator:
         if not rhs_constant_exists:
             return None
         params: List[Any] = []
-        conditions = self._lhs_conditions(cfd, params)
+        conditions = self._lhs_conditions(cfd)
         rhs_parts: List[str] = []
         for attribute in cfd.rhs:
             tab_column = f"{TABLEAU_ALIAS}.{attribute}"
             data_column = self._data_column(attribute)
+            # a non-NULL tableau cell is a constant RHS (NULL encodes the
+            # wildcard); the tuple violates it when its value differs or
+            # is NULL
             rhs_parts.append(
-                f"({tab_column} <> {self._wildcard(params)} AND "
+                f"({tab_column} IS NOT NULL AND "
                 f"({data_column} <> {tab_column} OR {DATA_ALIAS}.{attribute} IS NULL))"
             )
         conditions.append("(" + " OR ".join(rhs_parts) + ")")
@@ -513,10 +623,10 @@ class DetectionSqlGenerator:
         delta_group_count: Optional[int] = None,
     ) -> SqlQuery:
         params: List[Any] = []
-        conditions = self._lhs_conditions(cfd, params)
-        conditions.append(
-            f"{TABLEAU_ALIAS}.{rhs_attribute} = {self._wildcard(params)}"
-        )
+        conditions = self._lhs_conditions(cfd)
+        # a NULL tableau cell on the RHS attribute is the wildcard — the
+        # pattern rows Q_V groups under
+        conditions.append(f"{TABLEAU_ALIAS}.{rhs_attribute} IS NULL")
         conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
         if delta_group_count is not None:
             conditions.append(self._group_restriction(cfd, delta_group_count))
@@ -539,6 +649,387 @@ class DetectionSqlGenerator:
         )
         kind = "q_v" if delta_group_count is None else "delta_multi"
         return SqlQuery(sql, tuple(params), rhs_attribute=rhs_attribute, kind=kind)
+
+    # -- specialized plan families (sargable / window) -----------------------------
+
+    @property
+    def one_pass_multi(self) -> bool:
+        """Whether the resolved family's ``Q_V`` returns member rows directly.
+
+        True for the ``window`` family, whose one-pass statements make the
+        covering-members round trip unnecessary: callers bucket the
+        ``(tid, lhs_*)`` rows per group key instead of enumerating members
+        in a second query wave.
+        """
+        return self.detect_plan == "window"
+
+    def _constant_single_patterns(self, cfd: CFD) -> List[int]:
+        """Pattern indices carrying at least one constant RHS position."""
+        return [
+            index
+            for index, pattern in enumerate(cfd.patterns)
+            if any(
+                cfd.rhs_pattern(pattern).value(attr).is_constant
+                for attr in cfd.rhs
+            )
+        ]
+
+    def _wildcard_multi_patterns(self, cfd: CFD, rhs_attribute: str) -> List[int]:
+        """Pattern indices whose value on ``rhs_attribute`` is the wildcard."""
+        return [
+            index
+            for index, pattern in enumerate(cfd.patterns)
+            if cfd.rhs_pattern(pattern).value(rhs_attribute).is_wildcard
+        ]
+
+    def _pattern_lhs_conditions(
+        self, cfd: CFD, pattern_index: int, params: List[Any]
+    ) -> List[str]:
+        """Per-pattern LHS conditions with sargable constant equalities.
+
+        A constant position renders as ``<string-encoding> = ?`` binding
+        the constant's tableau encoding — for string attributes that is a
+        bare ``t.X = ?`` the auto-built CFD-LHS index answers directly
+        (the trick the covering members plan proved).  Equality implies
+        non-NULL, so the explicit guard is kept only for wildcard
+        positions, which any non-NULL value matches.
+        """
+        pattern = cfd.patterns[pattern_index]
+        conditions: List[str] = []
+        for attribute in cfd.lhs:
+            value = pattern.value(attribute)
+            if value.is_constant:
+                conditions.append(
+                    f"{self._data_column(attribute)} = "
+                    f"{self._bind_literal(str(value.constant), params)}"
+                )
+            else:
+                conditions.append(f"{DATA_ALIAS}.{attribute} IS NOT NULL")
+        return conditions
+
+    def _sargable_single_for(
+        self,
+        cfd: CFD,
+        pattern_index: int,
+        delta_tid_count: Optional[int] = None,
+    ) -> SqlQuery:
+        """Per-pattern sargable ``Q_C``: no tableau join, constants bound.
+
+        The pattern is implicit in the statement (``pattern_index`` rides
+        on the returned :class:`SqlQuery`), so the select list is just
+        ``tid`` plus the ``lhs_*`` carry columns.  The delta form appends
+        the caller-bound tid restriction after the constant binds.
+        """
+        pattern = cfd.patterns[pattern_index]
+        rhs = cfd.rhs_pattern(pattern)
+        params: List[Any] = []
+        conditions = self._pattern_lhs_conditions(cfd, pattern_index, params)
+        rhs_parts: List[str] = []
+        for attribute in cfd.rhs:
+            value = rhs.value(attribute)
+            if not value.is_constant:
+                continue
+            expected = self._bind_literal(str(value.constant), params)
+            rhs_parts.append(
+                f"({self._data_column(attribute)} <> {expected} "
+                f"OR {DATA_ALIAS}.{attribute} IS NULL)"
+            )
+        conditions.append("(" + " OR ".join(rhs_parts) + ")")
+        if delta_tid_count is not None:
+            placeholders = ", ".join("?" for _ in range(delta_tid_count))
+            conditions.append(f"{DATA_ALIAS}._tid IN ({placeholders})")
+        select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+            f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+        ]
+        sql = (
+            f"SELECT {', '.join(select_columns)}\n"
+            f"FROM {cfd.relation} {DATA_ALIAS}\n"
+            f"WHERE {' AND '.join(conditions)}"
+        )
+        return SqlQuery(
+            sql, tuple(params), kind="q_c_sargable", pattern_index=pattern_index
+        )
+
+    def _sargable_multi_for(
+        self,
+        cfd: CFD,
+        rhs_attribute: str,
+        pattern_index: int,
+        delta_group_count: Optional[int] = None,
+    ) -> SqlQuery:
+        """Per-pattern sargable ``Q_V``: grouped over the data relation alone.
+
+        Same row shape as the legacy ``Q_V`` minus the ``pattern_id``
+        column (implicit in the statement); member enumeration still goes
+        through the covering members plan.
+        """
+        params: List[Any] = []
+        conditions = self._pattern_lhs_conditions(cfd, pattern_index, params)
+        conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
+        if delta_group_count is not None:
+            conditions.append(self._group_restriction(cfd, delta_group_count))
+        distinct = f"COUNT(DISTINCT {self._data_column(rhs_attribute)})"
+        select_columns = [f"{DATA_ALIAS}.{attr} AS {attr}" for attr in cfd.lhs]
+        select_columns.append(f"{distinct} AS distinct_rhs")
+        select_columns.append("COUNT(*) AS group_size")
+        group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
+        sql = (
+            f"SELECT {', '.join(select_columns)}\n"
+            f"FROM {cfd.relation} {DATA_ALIAS}\n"
+            f"WHERE {' AND '.join(conditions)}\n"
+            f"GROUP BY {', '.join(group_columns)}\n"
+            f"HAVING {distinct} > 1"
+        )
+        return SqlQuery(
+            sql,
+            tuple(params),
+            rhs_attribute=rhs_attribute,
+            kind="q_v_sargable",
+            pattern_index=pattern_index,
+        )
+
+    def _window_multi_for(
+        self,
+        cfd: CFD,
+        rhs_attribute: str,
+        pattern_index: int,
+        delta_group_count: Optional[int] = None,
+    ) -> SqlQuery:
+        """Per-pattern one-pass ``Q_V``: violating groups *and* members.
+
+        Rows come back as ``(tid, lhs_*)`` — one per member of a violating
+        group — so the detect→covering-members round trip disappears.  On
+        a dialect with true DISTINCT window aggregates the statement is a
+        single scan filtered on ``COUNT(DISTINCT rhs) OVER (PARTITION BY
+        lhs...)``; SQLite rejects DISTINCT in window functions, so it gets
+        the JOIN-on-aggregate rewrite: the grouped ``HAVING`` subquery
+        finds the violating keys and the self-join pulls their members
+        (LHS equality to a violating key implies the pattern's constants
+        and non-NULL LHS by construction — the covering-members argument).
+        """
+        params: List[Any] = []
+        inner_conditions = self._pattern_lhs_conditions(cfd, pattern_index, params)
+        inner_conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
+        if delta_group_count is not None:
+            inner_conditions.append(self._group_restriction(cfd, delta_group_count))
+        distinct = f"COUNT(DISTINCT {self._data_column(rhs_attribute)})"
+        member_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+            f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+        ]
+        if self.dialect.supports_count_distinct_over:
+            partition = ", ".join(f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs)
+            inner_select = member_columns + [
+                f"{distinct} OVER (PARTITION BY {partition}) AS distinct_rhs"
+            ]
+            outer_columns = ["tid"] + [
+                f"{LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+            ]
+            sql = (
+                f"SELECT {', '.join(outer_columns)}\n"
+                f"FROM (SELECT {', '.join(inner_select)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(inner_conditions)}) w\n"
+                f"WHERE w.distinct_rhs > 1"
+            )
+        else:
+            group_select = [f"{DATA_ALIAS}.{attr} AS {attr}" for attr in cfd.lhs]
+            group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
+            join_on = " AND ".join(
+                f"{DATA_ALIAS}.{attr} = g.{attr}" for attr in cfd.lhs
+            )
+            sql = (
+                f"SELECT {', '.join(member_columns)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS} JOIN (\n"
+                f"SELECT {', '.join(group_select)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(inner_conditions)}\n"
+                f"GROUP BY {', '.join(group_columns)}\n"
+                f"HAVING {distinct} > 1\n"
+                f") g ON {join_on}\n"
+                f"WHERE {DATA_ALIAS}.{rhs_attribute} IS NOT NULL"
+            )
+        return SqlQuery(
+            sql,
+            tuple(params),
+            rhs_attribute=rhs_attribute,
+            kind="q_window",
+            pattern_index=pattern_index,
+        )
+
+    def plan_single_queries(
+        self, cfd: CFD, tableau_name: str, include_lhs: bool = True
+    ) -> List[SqlQuery]:
+        """The ``Q_C`` statements of the resolved plan family.
+
+        ``legacy``: the single tableau-joined query.  ``sargable`` and
+        ``window``: one statement per constant-RHS pattern row; pattern
+        rows that render to an identical statement (wildcard-only LHS with
+        the same expected RHS, or patterns made identical by the sub-CFD
+        restriction) are emitted once, labelled with the lowest pattern
+        index — the rows they'd return are identical, and the lowest index
+        is what every detection path reports.
+        """
+        if self.detect_plan == "legacy":
+            query = self.single_tuple_query(cfd, tableau_name, include_lhs=include_lhs)
+            return [query] if query is not None else []
+        queries: List[SqlQuery] = []
+        seen = set()
+        for index in self._constant_single_patterns(cfd):
+            query = self._cached_plan(
+                ("single_sarg", cfd, tableau_name, index, 0),
+                lambda index=index: self._sargable_single_for(cfd, index),
+            )
+            signature = (query.sql, query.parameters)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            queries.append(query)
+        return queries
+
+    def plan_multi_queries(self, cfd: CFD, tableau_name: str) -> List[SqlQuery]:
+        """The ``Q_V`` statements of the resolved plan family.
+
+        One statement per (wildcard RHS attribute × pattern row) for the
+        specialized families — deduplicated the same way as
+        :meth:`plan_single_queries`; wildcard-only patterns thereby keep a
+        single grouped query per RHS attribute.  For the ``window`` family
+        the statements are one-pass (see :attr:`one_pass_multi`).
+        """
+        if self.detect_plan == "legacy":
+            return list(self.multi_tuple_queries(cfd, tableau_name))
+        if not cfd.lhs:
+            return []
+        queries: List[SqlQuery] = []
+        for rhs_attribute in self.wildcard_rhs_attributes(cfd):
+            seen = set()
+            for index in self._wildcard_multi_patterns(cfd, rhs_attribute):
+                if self.one_pass_multi:
+                    query = self._cached_plan(
+                        ("multi_window", cfd, tableau_name, (rhs_attribute, index), 0),
+                        lambda index=index, rhs=rhs_attribute: self._window_multi_for(
+                            cfd, rhs, index
+                        ),
+                    )
+                else:
+                    query = self._cached_plan(
+                        ("multi_sarg", cfd, tableau_name, (rhs_attribute, index), 0),
+                        lambda index=index, rhs=rhs_attribute: self._sargable_multi_for(
+                            cfd, rhs, index
+                        ),
+                    )
+                signature = (query.sql, query.parameters)
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                queries.append(query)
+        return queries
+
+    def plan_delta_single(
+        self, cfd: CFD, tableau_name: str, tids: Sequence[int]
+    ) -> List[SqlQuery]:
+        """Fully-bound restricted ``Q_C`` statements of the resolved family.
+
+        The legacy family delegates to :meth:`delta_plans_single`; the
+        specialized families chunk the tid restriction per pattern
+        statement under the same parameter budget.
+        """
+        if self.detect_plan == "legacy":
+            return self.delta_plans_single(cfd, tableau_name, tids)
+        if not tids:
+            return []
+        plans: List[SqlQuery] = []
+        seen = set()
+        for index in self._constant_single_patterns(cfd):
+            probe = self._cached_plan(
+                ("single_sarg_delta", cfd, tableau_name, index, 1),
+                lambda index=index: self._sargable_single_for(
+                    cfd, index, delta_tid_count=1
+                ),
+            )
+            signature = (probe.sql, probe.parameters)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            size = self._chunk_size(len(probe.parameters), 1, or_form=False)
+            for chunk in self._chunked(list(tids), size):
+                chunk = self._padded(chunk, size)
+                query = self._cached_plan(
+                    ("single_sarg_delta", cfd, tableau_name, index, len(chunk)),
+                    lambda index=index, count=len(chunk): self._sargable_single_for(
+                        cfd, index, delta_tid_count=count
+                    ),
+                )
+                plans.append(
+                    SqlQuery(
+                        query.sql,
+                        tuple(query.parameters) + tuple(chunk),
+                        kind=query.kind,
+                        pattern_index=query.pattern_index,
+                    )
+                )
+        return plans
+
+    def plan_delta_multi(
+        self,
+        cfd: CFD,
+        tableau_name: str,
+        rhs_attribute: str,
+        keys: Sequence[Tuple[Any, ...]],
+    ) -> List[SqlQuery]:
+        """Fully-bound restricted ``Q_V`` statements of the resolved family.
+
+        The legacy family delegates to :meth:`delta_plans_multi`; the
+        specialized families chunk the group restriction per pattern
+        statement (the window form restricts its grouped subquery, so the
+        one-pass member rows cover exactly the affected groups).
+        """
+        if self.detect_plan == "legacy":
+            return self.delta_plans_multi(cfd, tableau_name, rhs_attribute, keys)
+        if not keys or not cfd.lhs:
+            return []
+        if self.one_pass_multi:
+            cache_kind = "multi_window_delta"
+            builder = self._window_multi_for
+        else:
+            cache_kind = "multi_sarg_delta"
+            builder = self._sargable_multi_for
+        plans: List[SqlQuery] = []
+        seen = set()
+        for index in self._wildcard_multi_patterns(cfd, rhs_attribute):
+            probe = self._cached_plan(
+                (cache_kind, cfd, tableau_name, (rhs_attribute, index), 1),
+                lambda index=index: builder(
+                    cfd, rhs_attribute, index, delta_group_count=1
+                ),
+            )
+            signature = (probe.sql, probe.parameters)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            size = self._chunk_size(
+                len(probe.parameters),
+                len(cfd.lhs) * self._key_binds(cfd),
+                or_form=not self._flat_restriction(cfd),
+            )
+            for chunk in self._chunked(list(keys), size):
+                chunk = self._padded(chunk, size)
+                query = self._cached_plan(
+                    (cache_kind, cfd, tableau_name, (rhs_attribute, index), len(chunk)),
+                    lambda index=index, count=len(chunk): builder(
+                        cfd, rhs_attribute, index, delta_group_count=count
+                    ),
+                )
+                flattened = self.flatten_group_keys(cfd, chunk)
+                plans.append(
+                    SqlQuery(
+                        query.sql,
+                        tuple(query.parameters) + flattened,
+                        rhs_attribute=rhs_attribute,
+                        kind=query.kind,
+                        pattern_index=query.pattern_index,
+                    )
+                )
+        return plans
 
     def group_members_query(self, cfd: CFD) -> Optional[SqlQuery]:
         """Parameterised query returning the tuples of one violating LHS group.
@@ -587,7 +1078,7 @@ class DetectionSqlGenerator:
 
         def build() -> SqlQuery:
             params: List[Any] = []
-            conditions = self._lhs_conditions(cfd, params)
+            conditions = self._lhs_conditions(cfd)
             conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NOT NULL")
             conditions.append(f"{TABLEAU_ALIAS}.{PATTERN_ID_COLUMN} = ?")
             conditions.append(self._group_restriction(cfd, group_count))

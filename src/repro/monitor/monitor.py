@@ -40,6 +40,7 @@ class DataMonitor:
         backend: Optional[StorageBackend] = None,
         mode: str = NATIVE_MODE,
         delta_plan: str = "auto",
+        detect_plan: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
     ):
         self.database = database
@@ -62,6 +63,7 @@ class DataMonitor:
             mirror=backend,
             mode=mode,
             delta_plan=delta_plan,
+            detect_plan=detect_plan,
             telemetry=telemetry,
         )
         self._repairer = IncrementalRepairer(cost_model=self.cost_model)

@@ -38,6 +38,19 @@ class SemandaqConfig:
         semi-joins on SQLite 3.15+, the OR-of-conjunctions form on the
         embedded engine); ``"portable"`` forces the OR form everywhere
         (the debugging / compatibility policy).
+    detect_plan:
+        Detection plan family the batch detector and the ``sql_delta``
+        incremental detector compile ``Q_C``/``Q_V`` into.  ``"legacy"``
+        is the tableau-joined shape; ``"sargable"`` splits each pattern
+        row into its own statement with constant LHS positions bound as
+        index-friendly equalities; ``"window"`` adds the one-pass ``Q_V``
+        that returns violating groups and their member rows in a single
+        scan (eliminating the covering-members round trip).  ``"auto"``
+        picks ``window`` where the dialect supports it (SQLite 3.25+)
+        and falls back to ``legacy`` elsewhere (the embedded engine).
+        ``None`` defers to the ``SEMANDAQ_DETECT_PLAN`` environment
+        variable, defaulting to ``"auto"``.  Every family produces
+        bit-identical violation reports.
     repair_source:
         Where the batch repairer reads its data from.  ``"auto"`` keeps the
         repair backend-resident whenever SQL detection is on: violations,
@@ -82,6 +95,7 @@ class SemandaqConfig:
     use_sql_detection: bool = True
     incremental_mode: str = "native"
     sql_delta_plan: str = "auto"
+    detect_plan: Optional[str] = None
     telemetry: bool = False
     explain_plans: bool = False
     log_sql: bool = False
@@ -113,6 +127,13 @@ class SemandaqConfig:
             raise ConfigurationError(
                 f"unknown sql_delta_plan {self.sql_delta_plan!r}; "
                 f"expected one of {', '.join(DELTA_PLANS)}"
+            )
+        from ..detection.sqlgen import DETECT_PLANS
+
+        if self.detect_plan is not None and self.detect_plan not in DETECT_PLANS:
+            raise ConfigurationError(
+                f"unknown detect_plan {self.detect_plan!r}; "
+                f"expected one of {', '.join(DETECT_PLANS)}"
             )
         if self.repair_source not in ("auto", "native"):
             raise ConfigurationError(

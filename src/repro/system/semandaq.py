@@ -93,6 +93,7 @@ class Semandaq:
             self.backend,
             use_sql=self.config.use_sql_detection,
             telemetry=self.telemetry,
+            detect_plan=self.config.detect_plan,
         )
         self.auditor = DataAuditor(
             majority=self.config.audit_majority,
@@ -546,6 +547,7 @@ class Semandaq:
             backend=None if self._backend_shared else self.backend,
             mode=self.config.incremental_mode,
             delta_plan=self.config.sql_delta_plan,
+            detect_plan=self.config.detect_plan,
             telemetry=self.telemetry,
         )
 

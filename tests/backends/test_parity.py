@@ -125,21 +125,33 @@ class TestThreeWayParity:
         assert any(name.startswith("idx_customer_") for name in names)
 
 
-def _all_path_reports(relation, cfds, make_sqlite_backend):
+def _all_path_reports(relation, cfds, make_sqlite_backend, detect_plan=None):
     """Reports from every detection path: native, both SQL backends, and
-    both incremental evaluation modes."""
+    both incremental evaluation modes.
+
+    ``detect_plan`` pins a plan family on every SQL path (requesting
+    ``window`` on the embedded engine exercises the clean fallback to
+    ``legacy``); ``None`` keeps the auto selection.
+    """
     database = Database()
     database.add_relation(relation.copy())
     native = ErrorDetector(database, use_sql=False).detect(relation.name, cfds)
-    memory_sql = ErrorDetector(database, use_sql=True).detect(relation.name, cfds)
+    memory_sql = ErrorDetector(
+        database, use_sql=True, detect_plan=detect_plan
+    ).detect(relation.name, cfds)
     sqlite_backend = make_sqlite_backend()
     sqlite_backend.add_relation(relation.copy())
-    sqlite_sql = ErrorDetector(sqlite_backend, use_sql=True).detect(
-        relation.name, cfds
-    )
+    sqlite_sql = ErrorDetector(
+        sqlite_backend, use_sql=True, detect_plan=detect_plan
+    ).detect(relation.name, cfds)
     incremental = IncrementalDetector(database, relation.name, cfds).report()
     sql_delta_detector = IncrementalDetector(
-        database, relation.name, cfds, mirror=sqlite_backend, mode="sql_delta"
+        database,
+        relation.name,
+        cfds,
+        mirror=sqlite_backend,
+        mode="sql_delta",
+        detect_plan=detect_plan,
     )
     sql_delta = sql_delta_detector.report()
     sql_delta_detector.close()
@@ -319,7 +331,9 @@ class TestFivePathProperty:
     """Randomised five-path equivalence: batch-native, batch-SQL on both
     backends, incremental-native and ``sql_delta`` must produce identical
     reports on random relations (NULL cells included) against random
-    tableaux (overlapping patterns and multi-wildcard RHS included)."""
+    tableaux (overlapping patterns and multi-wildcard RHS included) —
+    under every detection plan family (the embedded engine resolves the
+    ``window`` request to its ``legacy`` fallback)."""
 
     attrs = ("A", "B", "C", "D")
     cell = st.sampled_from(["a", "b", None])
@@ -366,9 +380,12 @@ class TestFivePathProperty:
             )
         return cfds
 
+    @pytest.mark.parametrize("detect_plan", ["legacy", "sargable", "window"])
     @given(data=st.data())
     @settings(max_examples=20, deadline=None)
-    def test_random_relations_and_tableaux_agree_on_all_paths(self, data):
+    def test_random_relations_and_tableaux_agree_on_all_paths(
+        self, detect_plan, data
+    ):
         rows = data.draw(
             st.lists(
                 st.fixed_dictionaries({attr: self.cell for attr in self.attrs}),
@@ -382,7 +399,9 @@ class TestFivePathProperty:
         cfds = self._draw_cfds(data)
         # plain :memory: backends (no fixture: hypothesis re-runs the body
         # many times per test invocation)
-        reports = _all_path_reports(relation, cfds, SqliteBackend)
+        reports = _all_path_reports(
+            relation, cfds, SqliteBackend, detect_plan=detect_plan
+        )
         keys = {name: _violation_keys(report) for name, report in reports.items()}
         assert (
             keys["native"]

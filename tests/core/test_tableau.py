@@ -54,11 +54,13 @@ class TestRelationalEncoding:
         assert rows[0] == {PATTERN_ID_COLUMN: 0, "CC": "44", "CNT": "UK"}
         assert rows[1] == {PATTERN_ID_COLUMN: 1, "CC": "01", "CNT": "US"}
 
-    def test_wildcards_encoded_as_token(self):
+    def test_wildcards_encoded_as_null(self):
+        # NULL is the wildcard encoding — no constant can collide with it,
+        # unlike the old '_' token, which a literal '_' constant shadowed
         cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
         row = tableau_to_relation(cfd).to_list()[0]
-        assert row["ZIP"] == "_"
-        assert row["STR"] == "_"
+        assert row["ZIP"] is None
+        assert row["STR"] is None
         assert row["CNT"] == "UK"
 
     def test_roundtrip(self, phi4):

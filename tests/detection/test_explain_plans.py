@@ -69,6 +69,53 @@ class TestCoveringMembersPlan:
         assert not any(marker in text for marker in INDEX_MARKERS), text
 
 
+class TestSargableSinglePlan:
+    """The constant-bound ``Q_C`` specialization must ride the CFD-LHS index.
+
+    The per-pattern statement turns a constant LHS position into a bare
+    ``t.CC = ?`` equality — exactly the shape the auto-built index answers.
+    A rewrite that re-wrapped the column in an expression would degrade to
+    a scan; ask the planner directly, like the covering-members pin above.
+    """
+
+    def test_constant_lhs_pattern_uses_cfd_lhs_index(
+        self, sqlite_customer, customer_relation
+    ):
+        cfd = parse_cfd("customer: [CC='44', AC='131'] -> [CITY='EDI']")
+        sqlite_customer.ensure_index("customer", cfd.lhs)
+        generator = DetectionSqlGenerator(
+            customer_relation.schema,
+            dialect=sqlite_customer.dialect,
+            detect_plan="sargable",
+        )
+        queries = generator.plan_single_queries(cfd, "tab")
+        assert len(queries) == 1
+        query = queries[0]
+        assert query.kind == "q_c_sargable"
+        assert "t.CC = ?" in query.sql and "t.AC = ?" in query.sql
+        detail = sqlite_customer.explain_query_plan(query.sql, query.parameters)
+        if not detail:
+            pytest.skip("this SQLite build returns no EXPLAIN QUERY PLAN rows")
+        text = _plan_text(detail)
+        if "USING" not in text:
+            pytest.skip("plan detail carries no index information")
+        assert any(marker in text for marker in INDEX_MARKERS), text
+
+    def test_without_index_the_plan_scans(self, sqlite_customer, customer_relation):
+        cfd = parse_cfd("customer: [CC='44', AC='131'] -> [CITY='EDI']")
+        generator = DetectionSqlGenerator(
+            customer_relation.schema,
+            dialect=sqlite_customer.dialect,
+            detect_plan="sargable",
+        )
+        query = generator.plan_single_queries(cfd, "tab")[0]
+        detail = sqlite_customer.explain_query_plan(query.sql, query.parameters)
+        if not detail:
+            pytest.skip("this SQLite build returns no EXPLAIN QUERY PLAN rows")
+        text = _plan_text(detail)
+        assert not any(marker in text for marker in INDEX_MARKERS), text
+
+
 class TestExplainHook:
     def test_memory_backend_has_no_plan_introspection(self, customer_relation):
         backend = MemoryBackend()

@@ -32,7 +32,7 @@ class TestSingleTupleQuery:
         sql = generator.single_tuple_query(cfd, "tab")
         assert sql is not None
         assert "FROM customer t, tab tab" in sql
-        assert "tab.CC = '_' OR tab.CC = t.CC" in sql
+        assert "tab.CC IS NULL OR tab.CC = t.CC" in sql
         assert "t._tid AS tid" in sql
 
     def test_wildcard_rhs_produces_none(self, generator):
@@ -307,15 +307,15 @@ class TestDeltaPlans:
         # silently emitting an over-budget statement would only defer the
         # failure to an opaque "too many SQL variables" execution error
         generator = DetectionSqlGenerator(
-            TWO_LHS_SCHEMA, dialect=SqliteDialect(max_parameters=4)
+            TWO_LHS_SCHEMA, dialect=SqliteDialect(max_parameters=1)
         )
-        cfd = _two_lhs_cfd()  # Q_V body binds 3 wildcards, each group 2 more
+        cfd = _two_lhs_cfd()  # each restricted group binds 2 values
         with pytest.raises(DetectionError, match="parameter budget"):
             generator.delta_plans_multi(cfd, "tab", "C", [("x", "y")])
 
 
 class TestDialects:
-    def test_memory_dialect_inlines_wildcard_and_uses_concat(self):
+    def test_memory_dialect_null_wildcard_and_uses_concat(self):
         schema = RelationSchema(
             "orders",
             [AttributeDef("QUANTITY", DataType.INTEGER), AttributeDef("PRODUCT")],
@@ -324,7 +324,7 @@ class TestDialects:
         cfd = parse_cfd("orders: [QUANTITY='5'] -> [PRODUCT='gadget']")
         query = generator.single_tuple_query(cfd, "tab")
         assert "CONCAT(t.QUANTITY)" in query.sql
-        assert "'_'" in query.sql
+        assert "tab.QUANTITY IS NULL" in query.sql
         assert query.parameters == ()
 
     def test_sqlite_dialect_casts_and_parameterises(self):
@@ -337,12 +337,13 @@ class TestDialects:
         query = generator.single_tuple_query(cfd, "tab")
         assert "CAST(t.QUANTITY AS TEXT)" in query.sql
         assert "CONCAT" not in query.sql
-        assert "'_'" not in query.sql  # wildcard travels as a parameter
-        assert query.parameters == ("_", "_")
-        assert query.sql.count("?") == len(query.parameters)
+        # the NULL wildcard encoding binds nothing — the tableau join
+        # tests tab.X IS NULL instead of comparing against a token
+        assert query.parameters == ()
+        assert query.sql.count("?") == 0
 
     def test_sqlite_multi_query_parameters_match_placeholders(self, customer_relation):
         generator = DetectionSqlGenerator(customer_relation.schema, dialect=SQLITE_DIALECT)
         cfd = parse_cfd("customer: [CNT='UK', ZIP=_] -> [STR=_]")
         query = generator.multi_tuple_query(cfd, "tab")
-        assert query.sql.count("?") == len(query.parameters) == 3
+        assert query.sql.count("?") == len(query.parameters) == 0

@@ -33,7 +33,11 @@ class TestEnabledMetrics:
     def test_detect_records_per_kind_histograms_and_counters(
         self, customer_relation, customer_cfds
     ):
-        semandaq = _sqlite_system(customer_relation, customer_cfds, telemetry=True)
+        # pin the legacy plan family explicitly: this test is about the
+        # classic Q_C/Q_V/covering-members statement kinds
+        semandaq = _sqlite_system(
+            customer_relation, customer_cfds, telemetry=True, detect_plan="legacy"
+        )
         try:
             assert isinstance(semandaq.backend, InstrumentedBackend)
             report = semandaq.detect("customer")
@@ -51,11 +55,33 @@ class TestEnabledMetrics:
             assert snapshot["counters"]["statement_rows.covering_members"] >= 2
             # plan-cache accounting: a cold detect compiles every plan
             assert snapshot["counters"]["plan_cache.misses"] >= 1
+            assert snapshot["counters"]["detect.plan_variant.legacy"] >= 1
             # one bulk load shipped the relation into the backend
             assert snapshot["counters"]["sync.full"] >= 1
             # backend write instrumentation saw the bulk load and the
             # tableau materialisations
             assert snapshot["histograms"]["backend_ms.add_relation"]["count"] >= 1
+        finally:
+            semandaq.close()
+
+    def test_detect_records_one_pass_kinds_under_auto(
+        self, customer_relation, customer_cfds
+    ):
+        # auto on a modern SQLite resolves to the window family: sargable
+        # Q_C plus the one-pass Q_V, no covering-members round trip
+        # (detect_plan pinned so the SEMANDAQ_DETECT_PLAN CI leg cannot
+        # flip the default under this test)
+        semandaq = _sqlite_system(
+            customer_relation, customer_cfds, telemetry=True, detect_plan="auto"
+        )
+        try:
+            report = semandaq.detect("customer")
+            assert report.total_violations() >= 3
+            snapshot = semandaq.metrics()
+            for kind in ("q_c_sargable", "q_window"):
+                assert snapshot["histograms"][f"statement_ms.{kind}"]["count"] >= 1
+            assert "statement_ms.covering_members" not in snapshot["histograms"]
+            assert snapshot["counters"]["detect.plan_variant.window"] >= 1
         finally:
             semandaq.close()
 
@@ -126,7 +152,11 @@ class TestExplainPlans:
         self, customer_relation, customer_cfds
     ):
         semandaq = _sqlite_system(
-            customer_relation, customer_cfds, telemetry=True, explain_plans=True
+            customer_relation,
+            customer_cfds,
+            telemetry=True,
+            explain_plans=True,
+            detect_plan="legacy",
         )
         try:
             semandaq.detect("customer")
