@@ -20,14 +20,22 @@ Two series on SQLite at 600/2400/9600 rows, same CFDs and noise for both:
   only violating tuples, closure members and aggregate rows cross the
   backend boundary, so cost tracks the *dirty region*, not the relation.
 
-The workload keeps the noise on CITY/STR — ZIP-keyed LHS groups of ~3
-tuples — so violations stay localised, the regime the pushdown is built
-for (a CC/CNT error blankets a country-sized group and drags most of the
-relation into the working set, at which point shipping it wholesale is
-honest competition).
+The primary workload keeps the noise on CITY/STR — ZIP-keyed LHS groups
+of ~3 tuples — so violations stay localised, the regime the pushdown is
+built for.  The **blanket-group series** measures the opposite regime: CNT
+noise under ``[CC] -> [CNT]`` turns whole countries into one multi-tuple
+violation, dragging most of the relation into the working set.  There the
+pure-resident source pays O(N / chunk) ``IN``-restricted fetches to ship
+nearly everything anyway; the adaptive source
+(``fetch_threshold=0.5``, the facade default) detects the regime and
+switches to one keyset-paged full scan instead.
 
 ``test_resident_repairs_match_and_win`` is the guard-rail: change-for-change
 parity at every size and an outright resident win at the largest size.
+``test_blanket_groups_adaptive_fallback`` guards the pathological regime:
+parity again, plus the adaptive invariant — the fallback engaged or the
+fetched fraction stayed at or under the threshold — and an adaptive win
+over the pure-resident source at the largest size.
 Set ``BENCH_SMOKE=1`` to run the smallest size only (the CI smoke mode).
 """
 
@@ -53,11 +61,22 @@ _WORKLOADS = {
     ).dirty
     for size in SIZES
 }
+#: the blanket-group pathology: CNT noise under [CC] -> [CNT] dirties
+#: whole countries, so nearly every tuple lands in the working set
+_BLANKET_WORKLOADS = {
+    size: inject_noise(
+        generate_customers(size, seed=317 + size),
+        rate=0.04,
+        seed=318 + size,
+        attributes=["CNT"],
+    ).dirty
+    for size in SIZES
+}
 
 
-def _loaded_backend(size):
+def _loaded_backend(size, workloads=_WORKLOADS):
     backend = SqliteBackend()
-    backend.add_relation(_WORKLOADS[size].copy())
+    backend.add_relation(workloads[size].copy())
     return backend
 
 
@@ -66,9 +85,11 @@ def _ship_back_repair(backend):
     return BatchRepairer().repair(backend.to_relation("customer"), _CFDS)
 
 
-def _resident_repair(backend):
+def _resident_repair(backend, fetch_threshold=None):
     """The resident protocol: plan over the backend, fetch only what's needed."""
-    source = BackendRepairSource(backend, "customer")
+    source = BackendRepairSource(
+        backend, "customer", fetch_threshold=fetch_threshold
+    )
     repair = BatchRepairer().repair_with_source(source, _CFDS)
     return repair, source
 
@@ -140,3 +161,56 @@ def test_resident_repairs_match_and_win():
             "groups_expanded": stats.get("groups_expanded", 0),
         },
     )
+
+
+def test_blanket_groups_adaptive_fallback():
+    """Guard-rail for the pathological regime: CNT noise under [CC] -> [CNT].
+
+    At every size: the adaptive source's changes match the ship-back
+    oracle, and the adaptive invariant holds — the fallback engaged or
+    the row-by-row fetches stayed at or under the 0.5 threshold.  At the
+    largest size the adaptive source must beat the pure-resident one
+    (whose chunked ``IN`` fetches ship nearly everything anyway).
+    """
+    threshold = 0.5
+    rows = []
+    for size in SIZES:
+        backend = _loaded_backend(size, _BLANKET_WORKLOADS)
+        shipped_ms = pure_ms = adaptive_ms = None
+        for _ in range(3):  # best-of-3 to keep the win assertion noise-proof
+            shipped, ms = timed(_ship_back_repair, backend)
+            shipped_ms = ms if shipped_ms is None else min(shipped_ms, ms)
+            (pure, pure_source), ms = timed(_resident_repair, backend)
+            pure_ms = ms if pure_ms is None else min(pure_ms, ms)
+            (adaptive, source), ms = timed(
+                _resident_repair, backend, fetch_threshold=threshold
+            )
+            adaptive_ms = ms if adaptive_ms is None else min(adaptive_ms, ms)
+        assert _change_keys(adaptive) == _change_keys(shipped)
+        assert _change_keys(pure) == _change_keys(shipped)
+        assert adaptive.residual_violations == shipped.residual_violations
+        fetched = source.stats["rows_fetched"]
+        assert (
+            source.stats["fallback_shipback"] == 1 or fetched <= threshold * size
+        ), f"adaptive invariant broken at {size} rows: {source.stats}"
+        rows.append(
+            {
+                "rows": size,
+                "cells_changed": len(adaptive.changes),
+                "rows_fetched": fetched,
+                "fallback": source.stats["fallback_shipback"],
+                "pure_fetched": pure_source.stats["rows_fetched"],
+                "adaptive_ms": round(adaptive_ms, 3),
+                "pure_resident_ms": round(pure_ms, 3),
+                "ship_back_ms": round(shipped_ms, 3),
+            }
+        )
+        backend.close()
+    report_series("REPAIR-RESIDENT blanket groups", rows)
+    largest = rows[-1]
+    if not os.environ.get("BENCH_SMOKE"):
+        assert largest["adaptive_ms"] < largest["pure_resident_ms"], (
+            "the adaptive fallback must beat the pure-resident source on "
+            f"blanket groups at {largest['rows']} rows: {largest}"
+        )
+    emit_bench_json("REPAIR-RESIDENT-BLANKET", rows)

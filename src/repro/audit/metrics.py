@@ -20,11 +20,14 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.cfd import CFD
 from ..detection.violations import Violation, ViolationReport
 from ..engine.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sources.base import TupleSource
 
 
 class Cleanliness(enum.Enum):
@@ -47,20 +50,33 @@ _ORDER = {
 
 @dataclass
 class TupleClassification:
-    """Classification of every tuple of a relation."""
+    """Classification of every tuple of a relation.
+
+    ``categories`` holds per-tid categories; ``aggregate`` holds category
+    counts known only in bulk (the resident audit classifies clean tuples
+    from backend aggregates without materialising them, so their tids are
+    never enumerated).  ``counts``/``percentages`` combine both.
+    """
 
     categories: Dict[int, Cleanliness] = field(default_factory=dict)
+    aggregate: Dict[Cleanliness, int] = field(default_factory=dict)
+
+    def total(self) -> int:
+        """Number of classified tuples, enumerated or aggregate."""
+        return len(self.categories) + sum(self.aggregate.values())
 
     def counts(self) -> Dict[Cleanliness, int]:
         """Number of tuples per category."""
         totals: Dict[Cleanliness, int] = {category: 0 for category in Cleanliness}
         for category in self.categories.values():
             totals[category] += 1
+        for category, count in self.aggregate.items():
+            totals[category] += count
         return totals
 
     def percentages(self) -> Dict[Cleanliness, float]:
         """Percentage of tuples per category (0 when the relation is empty)."""
-        total = len(self.categories)
+        total = self.total()
         if total == 0:
             return {category: 0.0 for category in Cleanliness}
         return {
@@ -70,7 +86,7 @@ class TupleClassification:
     def cumulative_percentages(self) -> Dict[Cleanliness, float]:
         """Cumulative view: verified ⊆ probably ⊆ arguably (matches the paper's bars)."""
         raw = self.counts()
-        total = len(self.categories) or 1
+        total = self.total() or 1
         verified = raw[Cleanliness.VERIFIED]
         probably = verified + raw[Cleanliness.PROBABLY]
         arguably = probably + raw[Cleanliness.ARGUABLY]
@@ -226,6 +242,110 @@ def classify_cells(
             )
             category = Cleanliness.VERIFIED if verified else Cleanliness.PROBABLY
             counts[attribute][category] += 1
+    return AttributeClassification(counts=counts)
+
+
+def classify_tuples_source(
+    source: "TupleSource",
+    partial: Relation,
+    cfds: Sequence[CFD],
+    report: ViolationReport,
+    majority: float = 0.5,
+) -> TupleClassification:
+    """Resident counterpart of :func:`classify_tuples` — zero full scans.
+
+    ``partial`` holds exactly the dirty tuples (every member of every
+    violation is dirty, so the majority checks see the same rows the
+    native path would).  Clean tuples are classified in bulk: the
+    verified-clean count is one pushed-down applicability aggregate minus
+    the dirty tuples that satisfy a constant-RHS sub — computed natively
+    over the fetched rows — and the rest of the clean tuples are probably
+    clean.  The result's ``counts``/``percentages`` match the native
+    classification exactly.
+    """
+    dirty_map: Dict[int, List[Violation]] = defaultdict(list)
+    for violation in report.violations:
+        for tid in violation.tids:
+            dirty_map[tid].append(violation)
+
+    constant_subs = [sub for _parent, sub in _applicable_constant_rhs(cfds)]
+    classification = TupleClassification()
+    dirty_applicable = 0
+    for tid, row in partial.rows():
+        involved = dirty_map.get(tid, [])
+        if any(
+            sub.applies_to(row, sub.patterns[0]) for sub in constant_subs
+        ):
+            dirty_applicable += 1
+        if involved and all(violation.is_multi for violation in involved) and all(
+            _majority_agrees(partial, tid, violation, majority)
+            for violation in involved
+        ):
+            classification.categories[tid] = Cleanliness.ARGUABLY
+        else:
+            classification.categories[tid] = Cleanliness.DIRTY
+    applicable = source.applicable_count(constant_subs) if constant_subs else 0
+    verified = applicable - dirty_applicable
+    clean = source.row_count() - len(dirty_map)
+    classification.aggregate[Cleanliness.VERIFIED] = verified
+    classification.aggregate[Cleanliness.PROBABLY] = clean - verified
+    return classification
+
+
+def classify_cells_source(
+    source: "TupleSource",
+    partial: Relation,
+    cfds: Sequence[CFD],
+    report: ViolationReport,
+    majority: float = 0.5,
+) -> AttributeClassification:
+    """Resident counterpart of :func:`classify_cells`.
+
+    Implicated cells (all on dirty, fetched tuples) classify natively;
+    non-implicated cells classify in bulk per attribute from one
+    applicability aggregate over that attribute's constant-RHS subs.
+    """
+    implicated: Dict[Tuple[int, str], List[Violation]] = defaultdict(list)
+    for violation in report.violations:
+        for tid in violation.tids:
+            implicated[(tid, violation.rhs_attribute)].append(violation)
+
+    per_attribute_constant: Dict[str, List[CFD]] = defaultdict(list)
+    for _parent, sub in _applicable_constant_rhs(cfds):
+        per_attribute_constant[sub.rhs[0]].append(sub)
+
+    implicated_by_attribute: Dict[str, List[int]] = defaultdict(list)
+    for tid, attribute in implicated:
+        implicated_by_attribute[attribute].append(tid)
+
+    total = source.row_count()
+    attributes = source.attribute_names()
+    counts: Dict[str, Dict[Cleanliness, int]] = {
+        attribute: {category: 0 for category in Cleanliness}
+        for attribute in attributes
+    }
+    for attribute in attributes:
+        subs = per_attribute_constant.get(attribute, [])
+        implicated_tids = sorted(implicated_by_attribute.get(attribute, []))
+        dirty_applicable = 0
+        for tid in implicated_tids:
+            row = partial.get(tid)
+            cell_violations = implicated[(tid, attribute)]
+            if any(sub.applies_to(row, sub.patterns[0]) for sub in subs):
+                dirty_applicable += 1
+            if all(v.is_multi for v in cell_violations) and all(
+                _majority_agrees(partial, tid, v, majority)
+                for v in cell_violations
+            ):
+                counts[attribute][Cleanliness.ARGUABLY] += 1
+            else:
+                counts[attribute][Cleanliness.DIRTY] += 1
+        applicable = source.applicable_count(subs) if subs else 0
+        verified = applicable - dirty_applicable
+        counts[attribute][Cleanliness.VERIFIED] = verified
+        counts[attribute][Cleanliness.PROBABLY] = (
+            total - len(implicated_tids) - verified
+        )
     return AttributeClassification(counts=counts)
 
 

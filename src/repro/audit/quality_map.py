@@ -24,13 +24,19 @@ DEFAULT_SHADES = ("clean", "light", "medium", "dark", "darkest")
 
 @dataclass
 class QualityMap:
-    """Bucketed dirtiness per tuple (and per cell)."""
+    """Bucketed dirtiness per tuple (and per cell).
+
+    ``vio`` may cover only the dirty tids (the resident audit never
+    enumerates clean tuples); ``tuple_count`` records the full tid
+    universe so the histogram's clean bucket stays exact either way.
+    """
 
     buckets: Dict[int, int] = field(default_factory=dict)
     boundaries: Tuple[float, ...] = ()
     shades: Tuple[str, ...] = DEFAULT_SHADES
     vio: Dict[int, int] = field(default_factory=dict)
     cell_buckets: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    tuple_count: int = 0
 
     def bucket_of(self, tid: int) -> int:
         """Bucket index of tuple ``tid`` (0 = clean)."""
@@ -45,6 +51,8 @@ class QualityMap:
         result = {shade: 0 for shade in self.shades}
         for tid in self.vio:
             result[self.shade_of(tid)] += 1
+        # Tuples outside ``vio`` are clean by construction.
+        result[self.shades[0]] += max(0, self.tuple_count - len(self.vio))
         return result
 
     def dirtiest(self, top: int = 10) -> List[Tuple[int, int]]:
@@ -85,16 +93,22 @@ def quantile_boundaries(values: Sequence[int], levels: int) -> Tuple[float, ...]
 
 
 def build_quality_map(
-    relation: Relation,
+    relation: Optional[Relation],
     report: ViolationReport,
     levels: int = len(DEFAULT_SHADES),
     strategy: str = "linear",
     shades: Tuple[str, ...] = DEFAULT_SHADES,
+    tuple_count: Optional[int] = None,
 ) -> QualityMap:
     """Build the tuple- and cell-level quality map from a violation report.
 
     ``strategy`` is ``"linear"`` (evenly spaced in ``vio``) or ``"quantile"``
-    (equal-population buckets among dirty tuples).
+    (equal-population buckets among dirty tuples).  ``relation`` may be
+    ``None`` when the data lives in a backend — the tid universe then
+    comes from ``tuple_count`` (a catalog row count) and ``vio`` is seeded
+    from the report's dirty tids alone.  The boundaries are unaffected:
+    linear ones depend only on ``max(vio)`` and quantile ones ignore
+    zero-violation tuples.
     """
     if shades == DEFAULT_SHADES and levels != len(DEFAULT_SHADES):
         # Derive generic shade names when the caller only customised the level
@@ -102,7 +116,15 @@ def build_quality_map(
         shades = ("clean",) + tuple(f"level{i}" for i in range(1, levels))
     if len(shades) != levels:
         raise SemandaqError("need exactly one shade name per level")
-    vio = {tid: 0 for tid, _row in relation.rows()}
+    if relation is None:
+        if tuple_count is None:
+            raise SemandaqError(
+                "a quality map without a relation needs a tuple_count"
+            )
+        vio = {}
+    else:
+        vio = {tid: 0 for tid, _row in relation.rows()}
+        tuple_count = len(relation)
     vio.update(report.vio())
     values = list(vio.values())
     max_value = max(values) if values else 0
@@ -137,4 +159,5 @@ def build_quality_map(
         shades=tuple(shades),
         vio=vio,
         cell_buckets=cell_buckets,
+        tuple_count=tuple_count,
     )

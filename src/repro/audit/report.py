@@ -11,7 +11,7 @@ detail.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.cfd import CFD
 from ..detection.violations import ViolationReport
@@ -21,10 +21,15 @@ from .metrics import (
     Cleanliness,
     TupleClassification,
     classify_cells,
+    classify_cells_source,
     classify_tuples,
+    classify_tuples_source,
     violation_statistics,
 )
 from .quality_map import DEFAULT_SHADES, QualityMap, build_quality_map
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sources.base import TupleSource
 
 
 @dataclass
@@ -116,6 +121,51 @@ class DataAuditor:
         return DataQualityReport(
             relation=report.relation,
             tuple_count=len(relation),
+            tuple_classification=tuple_classification,
+            attribute_classification=attribute_classification,
+            statistics=statistics,
+            per_cfd=report.per_cfd_counts(),
+            quality_map=quality_map,
+        )
+
+    def audit_source(
+        self,
+        source: "TupleSource",
+        cfds: Sequence[CFD],
+        report: ViolationReport,
+    ) -> DataQualityReport:
+        """Resident audit: classify from the report plus backend aggregates.
+
+        Only the dirty tuples are materialised (one ``row_fetch`` of the
+        report's dirty tids); every member of every violation is dirty, so
+        the majority checks run natively over that partial relation with
+        the same outcome as a full copy.  Clean tuples are counted by
+        pushed-down applicability aggregates, and the quality map derives
+        its tid universe from the catalog row count — the working store is
+        never read row-by-row.
+        """
+        partial = Relation(source.schema())
+        for tid, values in sorted(source.fetch_rows(sorted(report.dirty_tids())).items()):
+            partial.insert_at(tid, values)
+        tuple_classification = classify_tuples_source(
+            source, partial, cfds, report, self.majority
+        )
+        attribute_classification = classify_cells_source(
+            source, partial, cfds, report, self.majority
+        )
+        statistics = violation_statistics(report)
+        statistics["clean_tuples"] = float(report.clean_tid_count())
+        statistics["dirty_tuples"] = float(len(report.dirty_tids()))
+        quality_map = build_quality_map(
+            None,
+            report,
+            levels=self.quality_levels,
+            strategy=self.quality_strategy,
+            tuple_count=source.row_count(),
+        )
+        return DataQualityReport(
+            relation=report.relation,
+            tuple_count=source.row_count(),
             tuple_classification=tuple_classification,
             attribute_classification=attribute_classification,
             statistics=statistics,

@@ -1289,6 +1289,228 @@ class DetectionSqlGenerator:
 
         return self._cached_plan(("row_fetch", None, None, None, tid_count), build)
 
+    # -- tuple-source aggregates (majority_value / attr_freq / page_fetch) ----------
+
+    def majority_value_query(
+        self, cfd: CFD, rhs_attribute: str, group_count: int
+    ) -> SqlQuery:
+        """Per-LHS-group RHS value histogram for ``group_count`` groups.
+
+        One row per (group, RHS value) pair — ``(lhs_*, value, freq)`` —
+        including the NULL bucket (the explorer's drill-down shows it;
+        agreeing-majority consumers drop it client-side, mirroring the
+        detection semantics where a NULL RHS participates in no
+        disagreement).  This is the aggregate that lets the repair closure
+        and the auditor answer "which value does this group's backend
+        majority agree on?" without enumerating members.  Sargable like
+        :meth:`group_stats_query`; tableau-independent; all placeholders
+        caller-bound (:meth:`flatten_group_keys`).
+        """
+        if not cfd.lhs:
+            raise ValueError("the majority-value query needs a non-empty LHS")
+        if group_count < 1:
+            raise ValueError("group_count must be at least 1")
+
+        def build() -> SqlQuery:
+            conditions = [self._group_restriction(cfd, group_count)]
+            select_columns = [
+                f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+            ]
+            select_columns.append(f"{DATA_ALIAS}.{rhs_attribute} AS value")
+            select_columns.append("COUNT(*) AS freq")
+            group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
+            group_columns.append(f"{DATA_ALIAS}.{rhs_attribute}")
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(conditions)}\n"
+                f"GROUP BY {', '.join(group_columns)}"
+            )
+            return SqlQuery(
+                sql, (), rhs_attribute=rhs_attribute, kind="majority_value"
+            )
+
+        return self._cached_plan(
+            ("majority_value", cfd, None, rhs_attribute, group_count), build
+        )
+
+    def attr_freq_query(self, cfd: CFD, pattern_index: int) -> SqlQuery:
+        """LHS-value histogram over one pattern's applicable tuples.
+
+        One row per LHS-value group with at least one applicable member —
+        ``(lhs_*, freq)`` — where applicability is the pattern's sargable
+        LHS conditions (constants bound, wildcards guarded non-NULL).  The
+        resident explorer's drill-down derives its group listing from this
+        instead of scanning the relation; the resident auditor's
+        applicability counts share the statement kind.
+        """
+        if not cfd.lhs:
+            raise ValueError("the attr-freq query needs a non-empty LHS")
+
+        def build() -> SqlQuery:
+            params: List[Any] = []
+            conditions = self._pattern_lhs_conditions(cfd, pattern_index, params)
+            select_columns = [
+                f"{DATA_ALIAS}.{attr} AS {LHS_COLUMN_PREFIX}{attr}" for attr in cfd.lhs
+            ]
+            select_columns.append("COUNT(*) AS freq")
+            group_columns = [f"{DATA_ALIAS}.{attr}" for attr in cfd.lhs]
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {cfd.relation} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(conditions)}\n"
+                f"GROUP BY {', '.join(group_columns)}"
+            )
+            return SqlQuery(
+                sql, tuple(params), kind="attr_freq", pattern_index=pattern_index
+            )
+
+        return self._cached_plan(
+            ("attr_freq", cfd, None, None, pattern_index), build
+        )
+
+    def applicable_count_query(self, subs: Tuple[CFD, ...]) -> SqlQuery:
+        """Count of tuples some normalised sub-CFD's pattern applies to.
+
+        ``subs`` are single-pattern sub-CFDs (:meth:`CFD.normalize`); the
+        predicate ORs their sargable LHS conditions, and the OR never
+        duplicates a tuple, so a plain ``COUNT(*)`` is exact within one
+        statement.  The resident auditor's VERIFIED counting runs on this —
+        the clean side of the classification needs only *how many* stored
+        tuples a constant-RHS pattern covers, never which ones.  Chunking
+        across statements loses the cross-chunk de-duplication; use
+        :meth:`applicable_sub_chunks` and fall back to
+        :meth:`applicable_tids_query` when the subs do not fit one
+        statement.
+        """
+        if not subs:
+            raise ValueError("the applicable-count query needs at least one sub-CFD")
+
+        def build() -> SqlQuery:
+            return self._applicable_query(subs, count_only=True)
+
+        return self._cached_plan(
+            ("applicable_count", subs, None, None, 0), build
+        )
+
+    def applicable_tids_query(self, subs: Tuple[CFD, ...]) -> SqlQuery:
+        """Tids of the tuples some sub-CFD's pattern applies to.
+
+        The multi-chunk fallback of :meth:`applicable_count_query`: when
+        the subs exceed one statement's OR/parameter budget, the caller
+        runs this per chunk and unions the tids client-side.
+        """
+        if not subs:
+            raise ValueError("the applicable-tids query needs at least one sub-CFD")
+
+        def build() -> SqlQuery:
+            return self._applicable_query(subs, count_only=False)
+
+        return self._cached_plan(
+            ("applicable_tids", subs, None, None, 0), build
+        )
+
+    def _applicable_query(self, subs: Tuple[CFD, ...], count_only: bool) -> SqlQuery:
+        params: List[Any] = []
+        disjuncts: List[str] = []
+        for sub in subs:
+            conditions = self._pattern_lhs_conditions(sub, 0, params)
+            disjuncts.append("(" + " AND ".join(conditions) + ")")
+        where = " OR ".join(disjuncts)
+        if count_only:
+            select = "COUNT(*) AS freq"
+        else:
+            select = f"{DATA_ALIAS}._tid AS tid"
+        sql = (
+            f"SELECT {select}\n"
+            f"FROM {self.schema.name} {DATA_ALIAS}\n"
+            f"WHERE {where}"
+        )
+        return SqlQuery(sql, tuple(params), kind="attr_freq")
+
+    def applicable_sub_chunks(
+        self, subs: Sequence[CFD]
+    ) -> List[Tuple[CFD, ...]]:
+        """Greedy chunking of sub-CFDs under the OR/parameter budgets.
+
+        Each chunk fits one applicable-count/tids statement: at most
+        :attr:`~repro.backends.dialect.SqlDialect.max_or_terms` disjuncts
+        and the parameter budget's worth of bound pattern constants.
+        """
+        chunks: List[Tuple[CFD, ...]] = []
+        current: List[CFD] = []
+        current_params = 0
+        budget = self.dialect.max_parameters
+        for sub in subs:
+            pattern = sub.patterns[0]
+            sub_params = sum(
+                1 for attr in sub.lhs if pattern.value(attr).is_constant
+            ) if self.dialect.supports_parameters else 0
+            over_params = budget is not None and current_params + sub_params > budget
+            over_terms = len(current) >= self.dialect.max_or_terms
+            if current and (over_params or over_terms):
+                chunks.append(tuple(current))
+                current, current_params = [], 0
+            current.append(sub)
+            current_params += sub_params
+        if current:
+            chunks.append(tuple(current))
+        return chunks
+
+    def page_fetch_query(
+        self,
+        cfd: Optional[CFD] = None,
+        rhs_attribute: Optional[str] = None,
+        rhs_filter: Optional[str] = None,
+        page_size: int = 50,
+    ) -> SqlQuery:
+        """Keyset-paged full-row scan: ``(tid, <attributes...>)``.
+
+        Pages ride the primary key — ``_tid > ?`` plus ``ORDER BY _tid``
+        and an inlined ``LIMIT`` — so each page is O(page) however deep the
+        caller has navigated.  ``cfd`` restricts the scan to one LHS group
+        (:meth:`_group_restriction` over a single key); ``rhs_filter``
+        narrows further to one RHS value (``"eq"``, binding the value) or
+        to the NULL bucket (``"null"``).  Binding order: the group key
+        flattened with :meth:`flatten_group_keys`, then the RHS value for
+        the ``"eq"`` filter, then the after-tid cursor.  Without ``cfd``
+        the scan is unrestricted (the adaptive repair fallback pages the
+        whole relation through this instead of shipping it via
+        ``to_relation``).
+        """
+        if page_size < 1:
+            raise ValueError("page_size must be at least 1")
+        if rhs_filter not in (None, "eq", "null"):
+            raise ValueError(f"unknown rhs_filter {rhs_filter!r}")
+        if rhs_filter is not None and rhs_attribute is None:
+            raise ValueError("rhs_filter needs an rhs_attribute")
+
+        def build() -> SqlQuery:
+            conditions: List[str] = []
+            if cfd is not None:
+                conditions.append(self._group_restriction(cfd, 1))
+            if rhs_filter == "eq":
+                conditions.append(f"{DATA_ALIAS}.{rhs_attribute} = ?")
+            elif rhs_filter == "null":
+                conditions.append(f"{DATA_ALIAS}.{rhs_attribute} IS NULL")
+            conditions.append(f"{DATA_ALIAS}._tid > ?")
+            select_columns = [f"{DATA_ALIAS}._tid AS tid"] + [
+                f"{DATA_ALIAS}.{attr} AS {attr}"
+                for attr in self.schema.attribute_names
+            ]
+            sql = (
+                f"SELECT {', '.join(select_columns)}\n"
+                f"FROM {self.schema.name} {DATA_ALIAS}\n"
+                f"WHERE {' AND '.join(conditions)}\n"
+                f"ORDER BY {DATA_ALIAS}._tid\n"
+                f"LIMIT {page_size}"
+            )
+            return SqlQuery(sql, kind="page_fetch")
+
+        return self._cached_plan(
+            ("page_fetch", cfd, None, (rhs_attribute, rhs_filter), page_size), build
+        )
+
     # -- budget-chunked delta plans ------------------------------------------------
 
     def _chunk_size(self, base_params: int, per_item: int, or_form: bool) -> Optional[int]:
@@ -1520,6 +1742,39 @@ class DetectionSqlGenerator:
         for chunk in self._chunked(list(keys), size):
             chunk = self._padded(chunk, size)
             query = self.group_stats_query(cfd, rhs_attribute, len(chunk))
+            plans.append(
+                SqlQuery(
+                    query.sql,
+                    self.flatten_group_keys(cfd, chunk),
+                    rhs_attribute=rhs_attribute,
+                    kind=query.kind,
+                )
+            )
+        return plans
+
+    def majority_value_plans(
+        self,
+        cfd: CFD,
+        rhs_attribute: str,
+        keys: Sequence[Tuple[Any, ...]],
+    ) -> List[SqlQuery]:
+        """Fully-bound majority-value aggregates covering every group in ``keys``.
+
+        Chunked like the other group restrictions (parameter budget, and
+        the expression-depth cap for the portable OR form); empty when
+        ``keys`` is empty.
+        """
+        if not keys:
+            return []
+        size = self._chunk_size(
+            0,  # the majority-value query binds nothing besides the keys
+            len(cfd.lhs) * self._key_binds(cfd),
+            or_form=not self._flat_restriction(cfd),
+        )
+        plans: List[SqlQuery] = []
+        for chunk in self._chunked(list(keys), size):
+            chunk = self._padded(chunk, size)
+            query = self.majority_value_query(cfd, rhs_attribute, len(chunk))
             plans.append(
                 SqlQuery(
                     query.sql,

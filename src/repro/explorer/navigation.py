@@ -11,15 +11,17 @@ number of violating tuples is reported to guide the navigation.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..core.cfd import CFD
 from ..core.pattern import PatternTuple
 from ..detection.violations import Violation, ViolationReport
 from ..engine.relation import Relation
 from ..errors import ExplorerError
+from ..sources.base import NO_RHS_FILTER, TupleSource
+from ..sources.native import NativeTupleSource
 
 
 @dataclass(frozen=True)
@@ -62,10 +64,30 @@ class RhsValue:
 
 
 class DataExplorer:
-    """Programmatic drill-down over a relation, its CFDs and a violation report."""
+    """Programmatic drill-down over a relation, its CFDs and a violation report.
 
-    def __init__(self, relation: Relation, cfds: Sequence[CFD], report: ViolationReport):
-        self.relation = relation
+    Accepts either an in-memory :class:`Relation` (wrapped in a
+    :class:`NativeTupleSource`) or any :class:`TupleSource` — in
+    particular a backend-resident one, in which case every navigation step
+    is answered by pushed-down aggregates plus one cached fetch of the
+    dirty rows, and tuple listings hydrate keyset-sized pages only.
+    """
+
+    #: page size used when :meth:`tuples_for` drains a group to a full list
+    DEFAULT_PAGE_SIZE = 200
+
+    def __init__(
+        self,
+        relation: Union[Relation, TupleSource],
+        cfds: Sequence[CFD],
+        report: ViolationReport,
+    ):
+        if isinstance(relation, TupleSource):
+            self.source = relation
+            self.relation = getattr(relation, "relation", None)
+        else:
+            self.relation = relation
+            self.source = NativeTupleSource(relation)
         self.cfds = list(cfds)
         self.report = report
         self._by_id: Dict[str, CFD] = {cfd.identifier: cfd for cfd in self.cfds}
@@ -73,6 +95,15 @@ class DataExplorer:
         self._dirty_by_cfd: Dict[str, Set[int]] = defaultdict(set)
         for violation in report.violations:
             self._dirty_by_cfd[violation.cfd_id].update(violation.tids)
+        #: lazily fetched rows of every dirty tid (one row_fetch, cached)
+        self._dirty_rows_cache: Optional[Dict[int, Dict[str, Any]]] = None
+
+    def _dirty_rows(self) -> Dict[int, Dict[str, Any]]:
+        if self._dirty_rows_cache is None:
+            self._dirty_rows_cache = self.source.fetch_rows(
+                sorted(self.report.dirty_tids())
+            )
+        return self._dirty_rows_cache
 
     # -- exploring data by means of CFDs -------------------------------------------------
 
@@ -95,13 +126,13 @@ class DataExplorer:
         """The pattern tuples of one CFD, each with its violating-tuple count."""
         cfd = self._cfd(cfd_id)
         dirty = self._dirty_by_cfd.get(cfd_id, set())
+        rows = self._dirty_rows()
         summaries = []
         for index, pattern in enumerate(cfd.patterns):
             matching_dirty = {
                 tid
                 for tid in dirty
-                if tid in self.relation
-                and cfd.applies_to(self.relation.get(tid), pattern)
+                if tid in rows and cfd.applies_to(rows[tid], pattern)
             }
             summaries.append(
                 PatternSummary(
@@ -118,18 +149,24 @@ class DataExplorer:
         cfd = self._cfd(cfd_id)
         pattern = self._pattern(cfd, pattern_index)
         dirty = self._dirty_by_cfd.get(cfd_id, set())
-        groups: Dict[Tuple[Any, ...], List[int]] = defaultdict(list)
-        for tid, row in self.relation.rows():
-            if not cfd.applies_to(row, pattern):
+        # Group sizes come from one pushed-down histogram; the violating
+        # counts need only the (already fetched) dirty rows, because a
+        # violating tuple is by definition dirty.
+        freq = self.source.pattern_group_freq(cfd, pattern_index)
+        rows = self._dirty_rows()
+        violating: Dict[Tuple[Any, ...], int] = defaultdict(int)
+        for tid in dirty:
+            row = rows.get(tid)
+            if row is None or not cfd.applies_to(row, pattern):
                 continue
-            groups[tuple(row.get(attr) for attr in cfd.lhs)].append(tid)
+            violating[tuple(row.get(attr) for attr in cfd.lhs)] += 1
         matches = [
             LhsMatch(
                 lhs_values=key,
-                tuple_count=len(tids),
-                violating_tuples=len(set(tids) & dirty),
+                tuple_count=count,
+                violating_tuples=violating.get(key, 0),
             )
-            for key, tids in groups.items()
+            for key, count in freq.items()
         ]
         matches.sort(key=lambda match: (-match.violating_tuples, str(match.lhs_values)))
         return matches
@@ -140,22 +177,33 @@ class DataExplorer:
         """Distinct RHS values among the tuples with the selected LHS values."""
         cfd = self._cfd(cfd_id)
         pattern = self._pattern(cfd, pattern_index)
+        key = tuple(lhs_values)
+        if not self._key_applies(cfd, pattern, key):
+            return []
         dirty = self._dirty_by_cfd.get(cfd_id, set())
         rhs_attribute = cfd.rhs[0]
-        counts: Dict[Any, List[int]] = defaultdict(list)
-        for tid, row in self.relation.rows():
-            if not cfd.applies_to(row, pattern):
+        # Applicability is a function of the LHS key alone, so once the key
+        # passes, the per-value counts are exactly the group's RHS
+        # histogram (NULL bucket included).
+        histogram = self.source.majority_values(cfd, rhs_attribute, [key]).get(
+            key, Counter()
+        )
+        rows = self._dirty_rows()
+        violating: Dict[Any, int] = defaultdict(int)
+        for tid in dirty:
+            row = rows.get(tid)
+            if row is None:
                 continue
-            if tuple(row.get(attr) for attr in cfd.lhs) != tuple(lhs_values):
+            if tuple(row.get(attr) for attr in cfd.lhs) != key:
                 continue
-            counts[row.get(rhs_attribute)].append(tid)
+            violating[row.get(rhs_attribute)] += 1
         values = [
             RhsValue(
                 value=value,
-                tuple_count=len(tids),
-                violating_tuples=len(set(tids) & dirty),
+                tuple_count=count,
+                violating_tuples=violating.get(value, 0),
             )
-            for value, tids in counts.items()
+            for value, count in histogram.items()
         ]
         values.sort(key=lambda entry: (-entry.tuple_count, str(entry.value)))
         return values
@@ -168,19 +216,50 @@ class DataExplorer:
         rhs_value: Optional[Any] = None,
     ) -> List[Tuple[int, Dict[str, Any]]]:
         """The tuples behind a selected LHS combination (optionally filtered by RHS value)."""
+        rows: List[Tuple[int, Dict[str, Any]]] = []
+        after_tid = -1
+        while True:
+            page = self.tuples_page(
+                cfd_id,
+                pattern_index,
+                lhs_values,
+                rhs_value=rhs_value,
+                after_tid=after_tid,
+                page_size=self.DEFAULT_PAGE_SIZE,
+            )
+            rows.extend(page)
+            if len(page) < self.DEFAULT_PAGE_SIZE:
+                return rows
+            after_tid = page[-1][0]
+
+    def tuples_page(
+        self,
+        cfd_id: str,
+        pattern_index: int,
+        lhs_values: Sequence[Any],
+        rhs_value: Optional[Any] = None,
+        after_tid: int = -1,
+        page_size: int = 50,
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """One keyset page of the tuples behind a selected LHS combination.
+
+        Rows arrive in ascending tid order starting after ``after_tid``; a
+        short page means the group is exhausted.  On a backend-resident
+        source each page is one ``page_fetch`` statement — only the
+        visible page is ever hydrated.
+        """
         cfd = self._cfd(cfd_id)
         pattern = self._pattern(cfd, pattern_index)
-        rhs_attribute = cfd.rhs[0]
-        rows: List[Tuple[int, Dict[str, Any]]] = []
-        for tid, row in self.relation.rows():
-            if not cfd.applies_to(row, pattern):
-                continue
-            if tuple(row.get(attr) for attr in cfd.lhs) != tuple(lhs_values):
-                continue
-            if rhs_value is not None and row.get(rhs_attribute) != rhs_value:
-                continue
-            rows.append((tid, row))
-        return rows
+        key = tuple(lhs_values)
+        if not self._key_applies(cfd, pattern, key):
+            return []
+        return self.source.page(
+            after_tid=after_tid,
+            page_size=page_size,
+            cfd=cfd,
+            lhs_values=key,
+            rhs_value=NO_RHS_FILTER if rhs_value is None else rhs_value,
+        )
 
     # -- exploring CFDs by means of the data -----------------------------------------------
 
@@ -193,9 +272,10 @@ class DataExplorer:
         a user needs to understand why the tuple is regarded as a violation
         and to correct it manually.
         """
-        if tid not in self.relation:
+        fetched = self.source.fetch_rows([tid])
+        if tid not in fetched:
             raise ExplorerError(f"tuple {tid} does not exist")
-        row = self.relation.get(tid)
+        row = fetched[tid]
         relevant: List[Dict[str, Any]] = []
         for cfd in self.cfds:
             applicable_patterns = [
@@ -226,6 +306,18 @@ class DataExplorer:
         return [(tid, count) for tid, count in ranked if count > 0][:top]
 
     # -- internal -----------------------------------------------------------------------------
+
+    @staticmethod
+    def _key_applies(cfd: CFD, pattern: PatternTuple, key: Tuple[Any, ...]) -> bool:
+        """Whether the pattern applies to (every) tuple carrying ``key``.
+
+        :meth:`CFD.applies_to` looks only at a row's LHS values, so this
+        is decidable from the key alone: no NULL components and the
+        pattern's LHS constants match.
+        """
+        if len(key) != len(cfd.lhs) or any(value is None for value in key):
+            return False
+        return cfd.lhs_pattern(pattern).matches(dict(zip(cfd.lhs, key)))
 
     def _cfd(self, cfd_id: str) -> CFD:
         if cfd_id not in self._by_id:

@@ -15,6 +15,7 @@ from ..core.cfd import CFD
 from ..detection.violations import ViolationReport
 from ..engine.relation import Relation
 from ..errors import ExplorerError
+from ..sources.base import TupleSource
 from .navigation import CfdSummary, DataExplorer, LhsMatch, PatternSummary, RhsValue
 
 
@@ -32,12 +33,19 @@ class ExplorationSession:
 
     LEVELS = ("cfd", "pattern", "lhs", "rhs")
 
-    def __init__(self, relation: Relation, cfds: Sequence[CFD], report: ViolationReport):
+    def __init__(
+        self,
+        relation: "Relation | TupleSource",
+        cfds: Sequence[CFD],
+        report: ViolationReport,
+    ):
         self.explorer = DataExplorer(relation, cfds, report)
         self._cfd_id: Optional[str] = None
         self._pattern_index: Optional[int] = None
         self._lhs_values: Optional[Tuple[Any, ...]] = None
         self._rhs_value: Optional[Any] = None
+        #: keyset cursor of :meth:`next_page` (last tid served, -1 = start)
+        self._page_cursor: int = -1
 
     # -- navigation --------------------------------------------------------------------
 
@@ -77,6 +85,7 @@ class ExplorationSession:
             self._rhs_value = choice.value if isinstance(choice, RhsValue) else choice
         else:
             raise ExplorerError("already at the tuple level; call back() to go up")
+        self._page_cursor = -1
         return self.options()
 
     def back(self) -> List[Any]:
@@ -91,6 +100,7 @@ class ExplorationSession:
             self._cfd_id = None
         else:
             raise ExplorerError("already at the top level")
+        self._page_cursor = -1
         return self.options()
 
     def reset(self) -> None:
@@ -99,6 +109,30 @@ class ExplorationSession:
         self._pattern_index = None
         self._lhs_values = None
         self._rhs_value = None
+        self._page_cursor = -1
+
+    def next_page(self, page_size: int = 50) -> List[Tuple[int, Dict[str, Any]]]:
+        """The next keyset page of tuples at the current drill-down position.
+
+        Available once an LHS combination is selected (the RHS filter, if
+        any, carries over).  Each call hydrates one page and advances the
+        cursor; an empty or short page means the listing is exhausted.
+        Navigation (:meth:`select` / :meth:`back` / :meth:`reset`) rewinds
+        the cursor.
+        """
+        if self._cfd_id is None or self._pattern_index is None or self._lhs_values is None:
+            raise ExplorerError("select an LHS combination before paging tuples")
+        page = self.explorer.tuples_page(
+            self._cfd_id,
+            self._pattern_index,
+            self._lhs_values,
+            rhs_value=self._rhs_value,
+            after_tid=self._page_cursor,
+            page_size=page_size,
+        )
+        if page:
+            self._page_cursor = page[-1][0]
+        return page
 
     # -- state -----------------------------------------------------------------------------
 

@@ -51,26 +51,32 @@ exactly like the native path iterates all tuples) come out identical.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..backends.base import StorageBackend
 from ..core.cfd import CFD
-from ..detection.detector import ErrorDetector, decode_backend_value
-from ..detection.sqlgen import (
-    LHS_COLUMN_PREFIX,
-    DetectionSqlGenerator,
-    SqlQuery,
-)
+from ..detection.detector import ErrorDetector
+from ..detection.sqlgen import DetectionSqlGenerator
 from ..engine.relation import Relation
 from ..engine.types import RelationSchema
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
+from ..sources.backend import BackendTupleSource
+from ..sources.base import GroupKey
+from ..sources.native import native_column_frequencies
+
+__all__ = [
+    "REPAIR_PLAN_SCOPE",
+    "GroupKey",
+    "RepairDataSource",
+    "NativeRepairSource",
+    "BackendRepairSource",
+    "native_column_frequencies",
+]
 
 #: pseudo-tableau name scoping the repair source's covering-member plans in
 #: the generator's cache (the plans join no tableau; the name is never
 #: claimed by a CFD, so the cached plans survive for the generator's life)
 REPAIR_PLAN_SCOPE = "__semandaq_repair__"
-
-GroupKey = Tuple[Any, ...]
 
 
 class RepairDataSource:
@@ -121,27 +127,28 @@ class NativeRepairSource(RepairDataSource):
         return native_column_frequencies(self.relation)
 
 
-def native_column_frequencies(relation: Relation) -> Dict[str, Counter]:
-    """Frequency of every non-NULL value per attribute, by relation scan."""
-    frequencies: Dict[str, Counter] = {
-        name: Counter() for name in relation.attribute_names
-    }
-    for _tid, row in relation.rows():
-        for attribute, value in row.items():
-            if value is not None:
-                frequencies[attribute][value] += 1
-    return frequencies
-
-
 class BackendRepairSource(RepairDataSource):
     """Backend-resident source: the planner sees only the tuples it needs.
 
     ``detector`` may be shared (the facade passes its own, so the repair
     reuses its per-relation generator and prepared-plan caches); when
     omitted a private one is built over ``backend``.
+
+    ``fetch_threshold`` (0 < t <= 1, ``None`` = disabled) caps the fraction
+    of the relation the closure may fetch row-by-row.  When the dirty
+    region at load time — or the cumulative fetches a closure round would
+    reach — crosses ``t * row_count``, the source falls back to one
+    keyset-paged full scan (``page_fetch``) and completes the working
+    relation, which is strictly cheaper than paying O(N / chunk) ``IN``
+    restrictions to fetch nearly everything anyway.  The blanket-group
+    pathology (``[CC] -> [CNT]`` noise turning whole countries into one
+    multi-tuple violation) is exactly that regime.
     """
 
     resident = True
+
+    #: rows per ``page_fetch`` statement when the full-scan fallback engages
+    FALLBACK_PAGE_SIZE = 512
 
     def __init__(
         self,
@@ -149,16 +156,29 @@ class BackendRepairSource(RepairDataSource):
         relation_name: str,
         telemetry: Optional[Telemetry] = None,
         detector: Optional[ErrorDetector] = None,
+        fetch_threshold: Optional[float] = None,
     ):
         self.backend = backend
         self.relation_name = relation_name
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.fetch_threshold = fetch_threshold
         self._detector = detector or ErrorDetector(
             backend, use_sql=True, telemetry=telemetry
+        )
+        #: shared read layer: every pushed-down read goes through here
+        self._source = BackendTupleSource(
+            backend,
+            relation_name,
+            telemetry=telemetry,
+            plan_scope=REPAIR_PLAN_SCOPE,
         )
         self._schema: Optional[RelationSchema] = None
         self._generator: Optional[DetectionSqlGenerator] = None
         self._original: Optional[Relation] = None
+        self._total_rows = 0
+        #: whether the working relation holds every stored tuple (set by
+        #: the threshold fallback; closure rounds become no-ops)
+        self._complete = False
         #: pristine backend rows of every fetched tuple (decoded values);
         #: the backend copy is frozen while a repair is planned, so these
         #: answer "is every backend member of this key already fetched?"
@@ -168,18 +188,25 @@ class BackendRepairSource(RepairDataSource):
         #: fetched rows (maintained at fetch time so the begin_round
         #: pre-filter is a dictionary lookup, not a scan)
         self._fetched_members: List[Counter] = []
+        #: per closure sub-CFD: pristine non-NULL RHS values per LHS key
+        #: among the fetched rows — subtracting these from a backend
+        #: ``majority_value`` histogram leaves the unfetched remainder
+        self._fetched_values: List[Dict[GroupKey, Counter]] = []
         #: normalised sub-CFDs with a wildcard RHS (the only shapes whose
         #: group membership a cell change can grow)
         self._subs: List[CFD] = []
         #: closure queue: sub-CFD index -> ordered set of LHS keys to re-check
         self._pending: Dict[int, Dict[GroupKey, None]] = {}
-        #: SQL issued by this source (the detector keeps its own log)
-        self.last_sql: List[str] = []
+        #: SQL issued by this source (the detector keeps its own log);
+        #: shared with the tuple source so both halves log to one place
+        self.last_sql: List[str] = self._source.last_sql
         #: pushdown counters (tests and benchmarks read these)
         self.stats = {
             "rows_fetched": 0,
             "groups_checked": 0,
             "groups_expanded": 0,
+            "groups_pruned": 0,
+            "fallback_shipback": 0,
         }
 
     # -- protocol ----------------------------------------------------------------
@@ -192,14 +219,21 @@ class BackendRepairSource(RepairDataSource):
         self._generator = DetectionSqlGenerator(
             schema, dialect=self.backend.dialect, telemetry=self.telemetry
         )
+        self._source._generator = self._generator  # share the plan cache
         self._subs = self._closure_subs(cfds)
         self._fetched_members = [Counter() for _ in self._subs]
+        self._fetched_values = [{} for _ in self._subs]
+        self._total_rows = self._source.row_count()
         working = Relation(schema)
         self._original = Relation(schema)
         # The initial working set: exactly the violating tuples, found by
         # the backend-resident detect (zero working-store reads, PR 5).
         report = self._detector.detect(self.relation_name, cfds)
-        self._fetch_rows(working, sorted(report.dirty_tids()))
+        dirty = sorted(report.dirty_tids())
+        if self._over_threshold(len(dirty)):
+            self._ship_all(working)
+        else:
+            self._fetch_rows(working, dirty)
         return working
 
     def original(self) -> Relation:
@@ -208,35 +242,14 @@ class BackendRepairSource(RepairDataSource):
         return self._original
 
     def column_frequencies(self) -> Dict[str, Counter]:
-        schema = self._schema_of()
-        generator = self._require_generator()
-        frequencies: Dict[str, Counter] = {}
-        for attribute in schema.attribute_names:
-            rows = self._execute(generator.value_freq_query(attribute))
-            decoded = [
-                (
-                    decode_backend_value(schema, attribute, row["value"]),
-                    int(row["freq"]),
-                    row["first_tid"],
-                )
-                for row in rows
-            ]
-            # (freq DESC, first-encounter tid ASC) insertion order makes
-            # Counter.most_common — a stable sort on count — break ties
-            # exactly like the native first-encounter Counter.
-            decoded.sort(key=lambda item: (-item[1], item[2]))
-            counter: Counter = Counter()
-            for value, freq, _first_tid in decoded:
-                counter[value] = freq
-            frequencies[attribute] = counter
-        return frequencies
+        self._require_generator()
+        return self._source.value_frequencies()
 
     def begin_round(self, working: Relation) -> None:
-        if not self._pending:
+        if self._complete or not self._pending:
             return
         pending, self._pending = self._pending, {}
-        generator = self._require_generator()
-        schema = self._schema_of()
+        self._require_generator()
         for sub_index, keymap in pending.items():
             sub = self._subs[sub_index]
             keys = list(keymap)
@@ -245,32 +258,37 @@ class BackendRepairSource(RepairDataSource):
             # Aggregate pre-filter: member counts straight off the CFD-LHS
             # index.  A key nobody stores (fresh values) or whose members
             # are all fetched already needs no enumeration.
-            counts: Dict[GroupKey, int] = {}
-            for plan in generator.group_stats_plans(sub, rhs_attribute, keys):
-                for row in self._execute(plan):
-                    key = tuple(
-                        decode_backend_value(
-                            schema, attr, row[LHS_COLUMN_PREFIX + attr]
-                        )
-                        for attr in sub.lhs
-                    )
-                    counts[key] = int(row["member_count"])
+            counts = self._source.group_member_counts(sub, rhs_attribute, keys)
             fetched = self._fetched_members[sub_index]
-            expand = [key for key in keys if counts.get(key, 0) > fetched[key]]
+            candidates = [
+                key for key in keys if counts.get(key, 0) > fetched[key]
+            ]
+            if not candidates:
+                continue
+            # Majority pruning: a group whose combined value set — working
+            # values of fetched members plus backend values of unfetched
+            # ones — is already unanimous cannot violate, so the planner
+            # would decide nothing differently for it.  One majority_value
+            # histogram resolves that without shipping a single member.
+            expand = self._prune_decided(working, sub_index, sub, candidates)
             if not expand:
                 continue
             self.stats["groups_expanded"] += len(expand)
-            missing: Dict[int, None] = {}
-            for plan in generator.covering_members_plans(
-                sub, REPAIR_PLAN_SCOPE, rhs_attribute, expand
-            ):
-                for row in self._execute(plan):
-                    tid = row["tid"]
-                    if tid not in working:
-                        missing[tid] = None
-            self._fetch_rows(working, sorted(missing))
+            missing = sorted(
+                tid
+                for tid in self._source.covering_member_tids(
+                    sub, rhs_attribute, expand
+                )
+                if tid not in working
+            )
+            if self._over_threshold(self.stats["rows_fetched"] + len(missing)):
+                self._ship_all(working)
+                return
+            self._fetch_rows(working, missing)
 
     def note_change(self, working: Relation, tid: int, attribute: str) -> None:
+        if self._complete:
+            return  # the working relation already holds every stored tuple
         row = working.get(tid)
         for sub_index, sub in enumerate(self._subs):
             if attribute not in sub.lhs and attribute != sub.rhs[0]:
@@ -281,6 +299,12 @@ class BackendRepairSource(RepairDataSource):
             if not self._key_applicable(sub, key):
                 continue  # no wildcard-RHS pattern covers this key
             self._pending.setdefault(sub_index, {})[key] = None
+
+    def fetch_fraction(self) -> float:
+        """Fraction of the stored relation fetched row-by-row so far."""
+        if not self._total_rows:
+            return 0.0
+        return self.stats["rows_fetched"] / self._total_rows
 
     # -- internals ---------------------------------------------------------------
 
@@ -321,46 +345,114 @@ class BackendRepairSource(RepairDataSource):
                 return True
         return False
 
+    def _prune_decided(
+        self,
+        working: Relation,
+        sub_index: int,
+        sub: CFD,
+        candidates: List[GroupKey],
+    ) -> List[GroupKey]:
+        """Drop candidate keys whose group is provably violation-free.
+
+        A group violates only when its *current* full-relation value set —
+        the working values of fetched members plus the pristine backend
+        values of unfetched ones — holds more than one distinct non-NULL
+        RHS value.  The backend side comes from one ``majority_value``
+        histogram minus the pristine values of already-fetched rows; a
+        unanimous group is pruned (HoloClean-style domain pruning) and
+        re-queued by :meth:`note_change` if a fetched member moves again.
+        Unfetched rows never change, so the decision cannot go stale.
+        """
+        rhs_attribute = sub.rhs[0]
+        histograms = self._source.majority_values(sub, rhs_attribute, candidates)
+        working_values = self._working_values(working, sub)
+        fetched_values = self._fetched_values[sub_index]
+        expand: List[GroupKey] = []
+        for key in candidates:
+            stored = histograms.get(key, Counter())
+            unfetched = Counter(
+                {v: c for v, c in stored.items() if v is not None}
+            ) - fetched_values.get(key, Counter())
+            distinct = set(working_values.get(key, ()))
+            distinct.update(value for value, count in unfetched.items() if count > 0)
+            if len(distinct) <= 1:
+                self.stats["groups_pruned"] += 1
+                self.telemetry.inc("repair.closure_pruned")
+                continue
+            expand.append(key)
+        return expand
+
+    def _working_values(
+        self, working: Relation, sub: CFD
+    ) -> Dict[GroupKey, Set[Any]]:
+        """Distinct non-NULL working RHS values per working LHS key."""
+        rhs_attribute = sub.rhs[0]
+        index: Dict[GroupKey, Set[Any]] = {}
+        for _tid, row in working.rows():
+            value = row.get(rhs_attribute)
+            if value is None:
+                continue
+            key = tuple(row.get(attr) for attr in sub.lhs)
+            if any(part is None for part in key):
+                continue
+            index.setdefault(key, set()).add(value)
+        return index
+
+    def _over_threshold(self, rows_needed: int) -> bool:
+        if self.fetch_threshold is None or not self._total_rows:
+            return False
+        return rows_needed > self.fetch_threshold * self._total_rows
+
+    def _ship_all(self, working: Relation) -> None:
+        """Threshold fallback: complete the working relation in one paged scan."""
+        after_tid = -1
+        while True:
+            page = self._source.page(
+                after_tid=after_tid, page_size=self.FALLBACK_PAGE_SIZE
+            )
+            for tid, values in page:
+                after_tid = tid
+                if tid not in working:
+                    self._admit(working, tid, values)
+            if len(page) < self.FALLBACK_PAGE_SIZE:
+                break
+        self._complete = True
+        self._pending = {}
+        self.stats["fallback_shipback"] = 1
+        self.telemetry.inc("repair.fallback_shipback")
+
     def _note_fetched(self, values: Dict[str, Any]) -> None:
         """Account one pristine fetched row in the per-sub member counters.
 
         The counting criterion mirrors :meth:`group_stats_query` exactly —
         LHS equals the key, RHS non-NULL, no pattern filter — so a
         counter hitting the backend's ``member_count`` proves every
-        backend member of that key is already materialised.
+        backend member of that key is already materialised, and the value
+        counter subtracted from a ``majority_value`` histogram leaves
+        exactly the unfetched members' values.
         """
         for index, sub in enumerate(self._subs):
-            if values.get(sub.rhs[0]) is None:
+            value = values.get(sub.rhs[0])
+            if value is None:
                 continue
             key = tuple(values.get(attr) for attr in sub.lhs)
-            if any(value is None for value in key):
+            if any(part is None for part in key):
                 continue
             self._fetched_members[index][key] += 1
+            self._fetched_values[index].setdefault(key, Counter())[value] += 1
+
+    def _admit(self, working: Relation, tid: int, values: Dict[str, Any]) -> None:
+        working.insert_at(tid, dict(values))
+        self.original().insert_at(tid, dict(values))
+        self._backend_rows[tid] = values
+        self._note_fetched(values)
+        self.stats["rows_fetched"] += 1
+        self.telemetry.inc("repair.rows_fetched")
 
     def _fetch_rows(self, working: Relation, tids: Sequence[int]) -> None:
         missing = [tid for tid in tids if tid not in working]
         if not missing:
             return
-        schema = self._schema_of()
-        generator = self._require_generator()
-        for plan in generator.row_fetch_plans(missing):
-            for row in self._execute(plan):
-                tid = row["tid"]
-                if tid in working:
-                    continue  # padding repeats the last tid
-                values = {
-                    attr: decode_backend_value(schema, attr, row.get(attr))
-                    for attr in schema.attribute_names
-                }
-                working.insert_at(tid, dict(values))
-                self.original().insert_at(tid, dict(values))
-                self._backend_rows[tid] = values
-                self._note_fetched(values)
-                self.stats["rows_fetched"] += 1
-
-    def _execute(self, query: SqlQuery) -> List[Dict[str, Any]]:
-        self.last_sql.append(query.sql)
-        if not self.telemetry.active:
-            return self.backend.execute(query.sql, query.parameters)
-        with self.telemetry.tag_statements(query.kind):
-            return self.backend.execute(query.sql, query.parameters)
+        for tid, values in sorted(self._source.fetch_rows(missing).items()):
+            if tid not in working:
+                self._admit(working, tid, values)

@@ -61,6 +61,22 @@ class SemandaqConfig:
         ``"native"`` forces the original walk over the working
         :class:`~repro.engine.relation.Relation` (the parity oracle and
         the only choice when ``use_sql_detection`` is off).
+    repair_fetch_threshold:
+        Adaptive ship-back guard of the backend-resident repair: the
+        fraction of the relation the closure may fetch row-by-row before
+        the source switches to one keyset-paged full scan (fixing the
+        blanket-group pathology where nearly every tuple is dirty, e.g.
+        uniform noise under ``[CC] -> [CNT]``).  ``None`` disables the
+        fallback (pure-resident, the PR 7 behaviour).
+    audit_source:
+        Where the auditor and the explorer read from.  ``"auto"`` keeps
+        them backend-resident whenever SQL detection is on: clean tuples
+        are classified by pushed-down applicability aggregates, drill-down
+        navigation runs on ``GROUP BY`` histograms and keyset-paged
+        fetches, and only the dirty rows are materialised —
+        ``audit()``/``explorer()`` never call ``to_relation``.
+        ``"native"`` forces the original full-relation walk (the parity
+        oracle and the only choice when ``use_sql_detection`` is off).
     repair_max_iterations:
         Round limit of the heuristic repair algorithm.
     audit_majority:
@@ -100,6 +116,8 @@ class SemandaqConfig:
     explain_plans: bool = False
     log_sql: bool = False
     repair_source: str = "auto"
+    repair_fetch_threshold: Optional[float] = 0.5
+    audit_source: str = "auto"
     repair_max_iterations: int = 25
     audit_majority: float = 0.5
     quality_levels: int = 5
@@ -138,6 +156,17 @@ class SemandaqConfig:
         if self.repair_source not in ("auto", "native"):
             raise ConfigurationError(
                 f"unknown repair_source {self.repair_source!r}; "
+                "expected 'auto' or 'native'"
+            )
+        if self.repair_fetch_threshold is not None and not (
+            0.0 < self.repair_fetch_threshold <= 1.0
+        ):
+            raise ConfigurationError(
+                "repair_fetch_threshold must be in (0, 1] or None"
+            )
+        if self.audit_source not in ("auto", "native"):
+            raise ConfigurationError(
+                f"unknown audit_source {self.audit_source!r}; "
                 "expected 'auto' or 'native'"
             )
         if self.repair_max_iterations < 1:

@@ -43,6 +43,7 @@ from ..repair.cost import CostModel
 from ..repair.repairer import BatchRepairer, Repair
 from ..repair.source import BackendRepairSource
 from ..repair.review import RepairReview
+from ..sources.backend import BackendTupleSource
 from .config import SemandaqConfig
 from .constraint_engine import ConstraintEngine
 
@@ -279,26 +280,61 @@ class Semandaq:
 
     # -- step 4: audit ----------------------------------------------------------------------------
 
+    def _read_resident(self) -> bool:
+        """Whether the auditor/explorer read from the storage backend."""
+        return self.config.audit_source == "auto" and self.config.use_sql_detection
+
+    def _tuple_source(self, relation_name: str) -> BackendTupleSource:
+        self._sync_backend_if_stale(relation_name)
+        return BackendTupleSource(
+            self.backend, relation_name, telemetry=self.telemetry
+        )
+
     def audit(self, relation_name: str) -> DataQualityReport:
-        """Summarise the quality of ``relation_name`` from the latest detection."""
-        relation = self.database.relation(relation_name)
+        """Summarise the quality of ``relation_name`` from the latest detection.
+
+        With ``audit_source="auto"`` (and SQL detection on) the audit runs
+        backend-resident: the dirty rows come from one ``row_fetch``, the
+        clean-tuple categories from pushed-down applicability aggregates,
+        and the quality map's tid universe from the catalog row count —
+        the working store is never read row-by-row.
+        ``audit_source="native"`` forces the full-relation walk.
+        """
         report = self.last_report(relation_name)
-        return self.auditor.audit(relation, self.constraints.cfds(relation_name), report)
+        cfds = self.constraints.cfds(relation_name)
+        if self._read_resident():
+            self.telemetry.inc("audit.source_resident")
+            return self.auditor.audit_source(
+                self._tuple_source(relation_name), cfds, report
+            )
+        return self.auditor.audit(self.database.relation(relation_name), cfds, report)
 
     # -- step 5: explore --------------------------------------------------------------------------
 
     def explorer(self, relation_name: str) -> DataExplorer:
-        """A drill-down explorer over the latest detection results."""
-        relation = self.database.relation(relation_name)
-        return DataExplorer(
-            relation, self.constraints.cfds(relation_name), self.last_report(relation_name)
-        )
+        """A drill-down explorer over the latest detection results.
+
+        On the resident path (``audit_source="auto"`` with SQL detection)
+        every navigation step is answered by pushed-down aggregates and
+        keyset-paged fetches; only the dirty rows and the visible page of
+        tuples are ever materialised.
+        """
+        report = self.last_report(relation_name)
+        cfds = self.constraints.cfds(relation_name)
+        if self._read_resident():
+            return DataExplorer(self._tuple_source(relation_name), cfds, report)
+        return DataExplorer(self.database.relation(relation_name), cfds, report)
 
     def exploration_session(self, relation_name: str) -> ExplorationSession:
         """A stateful exploration session (the Fig. 2 walk-through)."""
-        relation = self.database.relation(relation_name)
+        report = self.last_report(relation_name)
+        cfds = self.constraints.cfds(relation_name)
+        if self._read_resident():
+            return ExplorationSession(
+                self._tuple_source(relation_name), cfds, report
+            )
         return ExplorationSession(
-            relation, self.constraints.cfds(relation_name), self.last_report(relation_name)
+            self.database.relation(relation_name), cfds, report
         )
 
     # -- step 6: repair and review -----------------------------------------------------------------
@@ -331,9 +367,13 @@ class Semandaq:
                 relation_name,
                 telemetry=self.telemetry,
                 detector=self.detector,
+                fetch_threshold=self.config.repair_fetch_threshold,
             )
             repair = repairer.repair_with_source(source, cfds)
             self.telemetry.inc("repair.source_resident")
+            self.telemetry.inc(
+                "repair.fetch_fraction", int(round(100 * source.fetch_fraction()))
+            )
         else:
             repair = repairer.repair(self.database.relation(relation_name), cfds)
         self.telemetry.inc("repair.cells_changed", len(repair.changes))

@@ -1,0 +1,1 @@
+"""Test package (keeps same-named test modules importable side by side)."""
