@@ -36,6 +36,7 @@ engine, and a :class:`~repro.backends.sqlite.SqliteBackend` over the stdlib
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..engine.relation import Relation
@@ -211,6 +212,39 @@ class StorageBackend(abc.ABC):
         index" from prose into a testable property.
         """
         return None
+
+    # -- concurrent serving --------------------------------------------------------
+
+    @contextmanager
+    def read_connection(
+        self, snapshot: bool = False, timeout: Optional[float] = None
+    ) -> Iterator[Any]:
+        """Pin one read context to the calling thread for the block's duration.
+
+        The concurrent serving layer wraps multi-statement read phases
+        (a detection run, an audit, an explorer page) in this context so
+        every statement issued inside it lands on the *same* underlying
+        connection.  With ``snapshot=True`` the backend additionally opens
+        a read transaction, so the block observes one consistent snapshot
+        of the store even while a writer streams delta batches.
+
+        The yielded value is backend-private (SQLite yields the pinned
+        ``sqlite3`` connection); callers keep issuing reads through the
+        normal :meth:`execute` / :meth:`get_row` / :meth:`iter_rows`
+        surface, which routes to the pinned connection automatically.
+
+        The base implementation is a no-op pin: backends without reader
+        pools (e.g. the embedded-engine adapter) are plain objects whose
+        reads need no per-thread connection, so the context just yields
+        the backend itself.  ``timeout`` bounds the wait for a pooled
+        connection on backends that have one.
+        """
+        del snapshot, timeout  # no pool: nothing to pin or snapshot
+        yield self
+
+    def pool_stats(self) -> Dict[str, Any]:
+        """Reader-pool acquisition counters (``pool.*``), empty without a pool."""
+        return {}
 
     # -- lifecycle ----------------------------------------------------------------
 

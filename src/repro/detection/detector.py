@@ -32,7 +32,20 @@ relation, whose prepared-plan cache persists across ``detect`` calls.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+import threading
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..backends.base import StorageBackend
 from ..backends.memory import MemoryBackend
@@ -90,7 +103,24 @@ def _sub_cfd(cfd: CFD, rhs_attribute: str) -> CFD:
 
 
 class ErrorDetector:
-    """Detects single-tuple and multi-tuple CFD violations in a relation."""
+    """Detects single-tuple and multi-tuple CFD violations in a relation.
+
+    The detector is safe to share across serving-layer worker threads:
+    the per-relation generator map and its prepared-plan caches are
+    lock-guarded, ``last_sql`` is per-thread, and detection tableaux are
+    handed out through reference-counted leases.  A tableau's content is
+    a pure function of its CFD, so concurrent detections of the same CFD
+    share one materialisation (the lease refcount keeps the drop until
+    the last reader finishes); a detection needing the same positional
+    name for a *different* CFD waits for the current occupant's leases to
+    drain.  Leases are always acquired in sorted name order, so two
+    threads holding overlapping tableau sets can never deadlock.  The
+    query phase of each detection runs inside
+    ``backend.read_connection(snapshot=True)``, so a report reflects one
+    consistent snapshot of the store even while a writer streams delta
+    batches — tuple count included, because the row count is read inside
+    the snapshot too.
+    """
 
     def __init__(
         self,
@@ -116,10 +146,29 @@ class ErrorDetector:
         #: requested detection plan family (``None`` = environment/auto);
         #: each generator resolves it against its dialect's capabilities
         self.detect_plan = detect_plan
-        #: SQL statements issued by the last ``detect`` call (for inspection).
-        self.last_sql: List[str] = []
+        #: per-thread state (``last_sql``): a worker's statement log must
+        #: not interleave with another thread's concurrent detection
+        self._local = threading.local()
         #: one generator (and prepared-plan cache) per detected relation
         self._generators: Dict[str, DetectionSqlGenerator] = {}
+        self._generators_lock = threading.Lock()
+        #: tableau name -> [owning CFD, lease refcount]; guarded by the
+        #: condition below, which is also what a thread waits on when a
+        #: different CFD currently occupies the name it needs
+        self._tableau_leases: Dict[str, List[Any]] = {}
+        self._tableau_cond = threading.Condition()
+
+    @property
+    def last_sql(self) -> List[str]:
+        """SQL statements issued by this thread's last ``detect`` call."""
+        log = getattr(self._local, "last_sql", None)
+        if log is None:
+            log = self._local.last_sql = []
+        return log
+
+    @last_sql.setter
+    def last_sql(self, value: List[str]) -> None:
+        self._local.last_sql = list(value)
 
     # -- public API --------------------------------------------------------------
 
@@ -132,27 +181,31 @@ class ErrorDetector:
 
     def _detect(self, relation_name: str, cfds: Sequence[CFD]) -> ViolationReport:
         self.last_sql = []
-        if self.use_sql:
-            schema, tuple_count = self._sql_preamble(relation_name, cfds)
-            generator = self._generator_for(relation_name, schema)
-            self.telemetry.inc(f"detect.plan_variant.{generator.detect_plan}")
-            relation: Optional[Relation] = None
-        else:
+        if not self.use_sql:
             relation = self.backend.to_relation(relation_name)
             schema = relation.schema
             tuple_count = len(relation)
             self._validate(relation_name, cfds, schema)
-
-        violations: List[Violation] = []
-        for index, cfd in enumerate(cfds):
-            for rhs_attribute in cfd.rhs:
-                sub = _sub_cfd(cfd, rhs_attribute)
-                if self.use_sql:
-                    violations.extend(
-                        self._detect_sql(relation_name, schema, cfd, sub, index)
-                    )
-                else:
+            violations: List[Violation] = []
+            for cfd in cfds:
+                for rhs_attribute in cfd.rhs:
+                    sub = _sub_cfd(cfd, rhs_attribute)
                     violations.extend(self._detect_native(relation, cfd, sub))
+            return self._report(relation_name, cfds, violations, tuple_count)
+
+        schema = self._sql_preamble(relation_name, cfds)
+        generator = self._generator_for(relation_name, schema)
+        self.telemetry.inc(f"detect.plan_variant.{generator.detect_plan}")
+        units = self._detection_units(cfds)
+        violations = []
+        with self._leased_tableaux(generator, relation_name, units):
+            with self.backend.read_connection(snapshot=True):
+                tuple_count = self.backend.row_count(relation_name)
+                for unit in units:
+                    _, cfd, sub, tableau_name = unit
+                    violations.extend(
+                        self._detect_sql(generator, schema, cfd, sub, tableau_name)
+                    )
         return self._report(relation_name, cfds, violations, tuple_count)
 
     def detect_for_tuples(
@@ -191,35 +244,42 @@ class ErrorDetector:
                 tuple_count=report.tuple_count,
                 cfd_ids=report.cfd_ids,
             )
-        schema, tuple_count = self._sql_preamble(relation_name, cfds)
+        schema = self._sql_preamble(relation_name, cfds)
         violations: List[Violation] = []
         restrict = sorted(wanted)
-        if restrict:
-            generator = self._generator_for(relation_name, schema)
-            self.telemetry.inc(f"detect.plan_variant.{generator.detect_plan}")
-            for index, cfd in enumerate(cfds):
+        if not restrict:
+            return self._report(
+                relation_name, cfds, violations,
+                self.backend.row_count(relation_name),
+            )
+        generator = self._generator_for(relation_name, schema)
+        self.telemetry.inc(f"detect.plan_variant.{generator.detect_plan}")
+        units = self._detection_units(cfds)
+        with self._leased_tableaux(generator, relation_name, units):
+            with self.backend.read_connection(snapshot=True):
+                tuple_count = self.backend.row_count(relation_name)
                 # the affected LHS-value groups depend on the (parent)
                 # LHS alone, so one backend lookup serves every RHS
                 # attribute of a merged CFD
-                restrict_keys: Optional[List[Tuple[Any, ...]]] = None
-                for rhs_attribute in cfd.rhs:
-                    sub = _sub_cfd(cfd, rhs_attribute)
+                group_keys: Dict[int, List[Tuple[Any, ...]]] = {}
+                for unit in units:
+                    index, cfd, sub, tableau_name = unit
                     needs_keys = bool(
                         sub.lhs
                     ) and generator.wildcard_rhs_attributes(sub)
-                    if needs_keys and restrict_keys is None:
-                        restrict_keys = self._restricted_group_keys(
+                    if needs_keys and index not in group_keys:
+                        group_keys[index] = self._restricted_group_keys(
                             generator, cfd, restrict
                         )
                     violations.extend(
                         self._detect_sql(
-                            relation_name,
+                            generator,
                             schema,
                             cfd,
                             sub,
-                            index,
+                            tableau_name,
                             restrict_tids=restrict,
-                            restrict_keys=restrict_keys if needs_keys else [],
+                            restrict_keys=group_keys[index] if needs_keys else [],
                         )
                     )
         return self._report(relation_name, cfds, violations, tuple_count)
@@ -228,18 +288,140 @@ class ErrorDetector:
 
     def _sql_preamble(
         self, relation_name: str, cfds: Sequence[CFD]
-    ) -> Tuple[RelationSchema, int]:
+    ) -> RelationSchema:
         """Shared entry of the backend-resident paths.
 
-        Resets the SQL log and reads schema + row count through catalog
-        ops — the queries run where the data lives and report assembly
-        reads backend rows only, so the working store is never touched.
+        Resets the SQL log and reads the schema through catalog ops — the
+        queries run where the data lives and report assembly reads backend
+        rows only, so the working store is never touched.  The row count
+        is *not* read here: callers read it inside their read snapshot so
+        the reported ``tuple_count`` is consistent with the violations
+        even under a concurrent writer.
         """
         self.last_sql = []
         schema = self.backend.schema(relation_name)
-        tuple_count = self.backend.row_count(relation_name)
         self._validate(relation_name, cfds, schema)
-        return schema, tuple_count
+        return schema
+
+    def _detection_units(
+        self, cfds: Sequence[CFD]
+    ) -> List[Tuple[int, CFD, CFD, str]]:
+        """One ``(index, parent, sub-CFD, tableau name)`` per RHS attribute."""
+        units: List[Tuple[int, CFD, CFD, str]] = []
+        for index, cfd in enumerate(cfds):
+            for rhs_attribute in cfd.rhs:
+                sub = _sub_cfd(cfd, rhs_attribute)
+                tableau_name = (
+                    tableau_relation_name(sub, index) + f"_{sub.rhs[0]}"
+                )
+                units.append((index, cfd, sub, tableau_name))
+        return units
+
+    @contextmanager
+    def _leased_tableaux(
+        self,
+        generator: DetectionSqlGenerator,
+        relation_name: str,
+        units: Sequence[Tuple[int, CFD, CFD, str]],
+    ) -> Iterator[None]:
+        """Hold tableau leases (and LHS indexes) for every detection unit.
+
+        All writes the SQL path needs — index creation and tableau
+        materialisation — happen here, *before* the caller opens its read
+        snapshot, so the snapshot sees every tableau.  Leases are
+        acquired in sorted tableau-name order: a thread only ever waits
+        on names greater than every name it already holds, which rules
+        out lease-wait cycles between concurrent detections.
+        """
+        for _, _, sub, _ in units:
+            if sub.lhs:
+                self.backend.ensure_index(relation_name, sub.lhs)
+        acquired: List[str] = []
+        try:
+            for _, _, sub, tableau_name in sorted(
+                units, key=lambda unit: unit[3]
+            ):
+                self._acquire_tableau(generator, tableau_name, sub)
+                acquired.append(tableau_name)
+            yield
+        finally:
+            for tableau_name in acquired:
+                self._release_tableau(tableau_name)
+
+    def _acquire_tableau(
+        self, generator: DetectionSqlGenerator, tableau_name: str, cfd: CFD
+    ) -> None:
+        """Take one lease on ``tableau_name`` materialised for ``cfd``.
+
+        The first lease claims the name (sweeping plans a previous
+        occupant left behind) and materialises the tableau; later leases
+        for the *same* CFD share that materialisation — the tableau's
+        content is a pure function of the CFD, so sharing is safe and
+        keeps concurrent detections of one CFD from re-writing each
+        other's tableau mid-query.  A lease for a *different* CFD waits
+        until the current occupant's leases drain, then rematerialises
+        the name for itself.
+
+        The materialisation is *cached*: when the last lease drains the
+        tableau table stays in the backend, keyed by its owning CFD, so
+        repeated detections over an unchanged CFD set are pure reads —
+        no per-detect writer work to serialise concurrent serving on.
+        """
+        with self._tableau_cond:
+            while True:
+                entry = self._tableau_leases.get(tableau_name)
+                if entry is None or (entry[0] == cfd and entry[1] == 0):
+                    # unclaimed name, or a cached materialisation left by
+                    # a previous detection of this same CFD
+                    if entry is None:
+                        generator.claim_tableau(tableau_name, cfd)
+                        self.backend.add_relation(
+                            tableau_to_relation(cfd, tableau_name), replace=True
+                        )
+                    self._tableau_leases[tableau_name] = [cfd, 1]
+                    return
+                if entry[0] == cfd:
+                    entry[1] += 1
+                    return
+                if entry[1] == 0:
+                    # cached for a different CFD and idle: take the name over
+                    generator.claim_tableau(tableau_name, cfd)
+                    self.backend.add_relation(
+                        tableau_to_relation(cfd, tableau_name), replace=True
+                    )
+                    self._tableau_leases[tableau_name] = [cfd, 1]
+                    return
+                self._tableau_cond.wait()
+
+    def _release_tableau(self, tableau_name: str) -> None:
+        """Return one lease, leaving the materialisation cached.
+
+        The entry survives at refcount zero: the tableau table and its
+        compiled plans remain valid for the owning CFD, so the next
+        detection of the same CFD skips the writer entirely.  A waiter
+        for a different CFD is woken to take the idle name over
+        (rematerialising it for its own CFD).
+        """
+        with self._tableau_cond:
+            entry = self._tableau_leases[tableau_name]
+            entry[1] -= 1
+            if entry[1] == 0:
+                self._tableau_cond.notify_all()
+
+    def release_cached_tableaux(self) -> None:
+        """Drop every cached tableau no detection currently holds a lease on.
+
+        The serving cache (see :meth:`_acquire_tableau`) keeps tableau
+        tables resident between detections; call this to return the
+        backend to its pre-detection relation set — the facade does so on
+        ``close()``.  Tableaux still leased by in-flight detections are
+        left alone; they simply stay cached when those leases drain.
+        """
+        with self._tableau_cond:
+            for tableau_name in list(self._tableau_leases):
+                if self._tableau_leases[tableau_name][1] == 0:
+                    del self._tableau_leases[tableau_name]
+                    self.backend.drop_relation(tableau_name)
 
     def _report(
         self,
@@ -278,71 +460,62 @@ class ErrorDetector:
         requested = (
             self.detect_plan if self.detect_plan is not None else default_detect_plan()
         )
-        generator = self._generators.get(relation_name)
-        if generator is None or generator.schema != schema:
-            generator = DetectionSqlGenerator(
-                schema,
-                dialect=self.backend.dialect,
-                telemetry=self.telemetry,
-                detect_plan=requested,
-            )
-            self._generators[relation_name] = generator
-        elif generator.requested_detect_plan != requested:
-            # detect_plan flipped mid-session: re-resolve in place — the
-            # variant-keyed plan cache guarantees no stale shape is served
-            generator.set_detect_plan(requested)
-        return generator
+        with self._generators_lock:
+            generator = self._generators.get(relation_name)
+            if generator is None or generator.schema != schema:
+                generator = DetectionSqlGenerator(
+                    schema,
+                    dialect=self.backend.dialect,
+                    telemetry=self.telemetry,
+                    detect_plan=requested,
+                )
+                self._generators[relation_name] = generator
+            elif generator.requested_detect_plan != requested:
+                # detect_plan flipped mid-session: re-resolve in place — the
+                # variant-keyed plan cache guarantees no stale shape is served
+                generator.set_detect_plan(requested)
+            return generator
 
     def _detect_sql(
         self,
-        relation_name: str,
+        generator: DetectionSqlGenerator,
         schema: RelationSchema,
         parent: CFD,
         cfd: CFD,
-        cfd_index: int,
+        tableau_name: str,
         restrict_tids: Optional[Sequence[int]] = None,
         restrict_keys: Optional[Sequence[Tuple[Any, ...]]] = None,
     ) -> List[Violation]:
-        generator = self._generator_for(relation_name, schema)
-        tableau_name = tableau_relation_name(cfd, cfd_index) + f"_{cfd.rhs[0]}"
-        tableau = tableau_to_relation(cfd, tableau_name)
-        if cfd.lhs:
-            self.backend.ensure_index(relation_name, cfd.lhs)
-        # The positional tableau name may have hosted a different CFD in a
-        # previous detect call; claiming it drops that occupant's plans
-        # while keeping this CFD's own plans warm across repeated detects.
-        generator.claim_tableau(tableau_name, cfd)
-        self.backend.add_relation(tableau, replace=True)
-        try:
-            if restrict_tids is None:
-                single_queries = generator.plan_single_queries(
-                    cfd, tableau_name, include_lhs=True
-                )
-                multi_queries = generator.plan_multi_queries(cfd, tableau_name)
-                wanted: Optional[Set[int]] = None
-            else:
-                single_queries = generator.plan_delta_single(
-                    cfd, tableau_name, restrict_tids
-                )
-                multi_queries = generator.plan_delta_multi(
-                    cfd, tableau_name, cfd.rhs[0], list(restrict_keys or [])
-                )
-                wanted = set(restrict_tids)
-            violations: List[Violation] = []
-            violations.extend(
-                self._assemble_singles(parent, cfd, schema, single_queries)
+        """Run one detection unit's queries and assemble its violations.
+
+        Query-only: the caller holds a tableau lease for ``tableau_name``
+        (see :meth:`_leased_tableaux`) and typically a read snapshot, so
+        nothing here writes to the backend.
+        """
+        if restrict_tids is None:
+            single_queries = generator.plan_single_queries(
+                cfd, tableau_name, include_lhs=True
             )
-            violations.extend(
-                self._assemble_multis(
-                    generator, parent, cfd, schema, tableau_name, multi_queries, wanted
-                )
+            multi_queries = generator.plan_multi_queries(cfd, tableau_name)
+            wanted: Optional[Set[int]] = None
+        else:
+            single_queries = generator.plan_delta_single(
+                cfd, tableau_name, restrict_tids
             )
-            return violations
-        finally:
-            # The tableau is dropped but the plans stay cached: they remain
-            # valid for this exact CFD, and the next claim_tableau sweeps
-            # them if a different CFD takes the name.
-            self.backend.drop_relation(tableau_name)
+            multi_queries = generator.plan_delta_multi(
+                cfd, tableau_name, cfd.rhs[0], list(restrict_keys or [])
+            )
+            wanted = set(restrict_tids)
+        violations: List[Violation] = []
+        violations.extend(
+            self._assemble_singles(parent, cfd, schema, single_queries)
+        )
+        violations.extend(
+            self._assemble_multis(
+                generator, parent, cfd, schema, tableau_name, multi_queries, wanted
+            )
+        )
+        return violations
 
     def _execute(self, query: SqlQuery) -> List[Dict[str, Any]]:
         self.last_sql.append(query.sql)
@@ -439,17 +612,26 @@ class ErrorDetector:
         # exactly what the engine compares against.
         grouped: Dict[Tuple[Any, ...], int] = {}
         members: Dict[Tuple[Any, ...], Set[int]] = {}
+        key_columns = [LHS_COLUMN_PREFIX + attr for attr in cfd.lhs]
         if generator.one_pass_multi:
             # window family: the statements return member rows directly —
             # bucket them per group key; the member set is a property of
-            # the key alone, so overlapping patterns just re-deliver it
+            # the key alone, so overlapping patterns just re-deliver it.
+            # This is the serving hot loop (one iteration per member row),
+            # so the group key is built from precomputed column names and
+            # the bucket is fetched with a single dict probe.
+            members_get = members.get
             for query in queries:
                 pattern_index = query.pattern_index or 0
                 for row in self._execute(query):
-                    key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
-                    if key not in grouped or pattern_index < grouped[key]:
+                    key = tuple([row[column] for column in key_columns])
+                    bucket = members_get(key)
+                    if bucket is None:
+                        members[key] = bucket = set()
                         grouped[key] = pattern_index
-                    members.setdefault(key, set()).add(row["tid"])
+                    elif pattern_index < grouped[key]:
+                        grouped[key] = pattern_index
+                    bucket.add(row["tid"])
         else:
             for query in queries:
                 for row in self._execute(query):
@@ -469,7 +651,7 @@ class ErrorDetector:
                 cfd, tableau_name, rhs_attribute, list(grouped)
             ):
                 for row in self._execute(plan):
-                    key = tuple(row[LHS_COLUMN_PREFIX + attr] for attr in cfd.lhs)
+                    key = tuple([row[column] for column in key_columns])
                     members.setdefault(key, set()).add(row["tid"])
         violations: List[Violation] = []
         for lhs_values, pattern_index in grouped.items():

@@ -97,6 +97,7 @@ Two plan-quality mechanisms sit on top of the query builders:
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -277,6 +278,12 @@ class DetectionSqlGenerator:
         #: tableau name -> the CFD it was last materialised for (see
         #: :meth:`claim_tableau`)
         self._tableau_owners: Dict[str, CFD] = {}
+        #: guards the cache, owner map and hit/miss counters: serving-layer
+        #: worker threads share one generator per relation, and a lost
+        #: update on the dicts (or a build raced with an invalidation)
+        #: would serve a plan for a tableau another CFD now occupies.
+        #: Re-entrant because ``claim_tableau`` calls ``invalidate_plans``.
+        self._cache_lock = threading.RLock()
         #: cache telemetry (benchmarks and tests read these)
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -304,17 +311,18 @@ class DetectionSqlGenerator:
         (``plan_cache.hits.<variant>``).
         """
         key = key + (self.detect_plan,)
-        if key in self._plan_cache:
-            self.plan_cache_hits += 1
-            self.telemetry.inc("plan_cache.hits")
-            self.telemetry.inc(f"plan_cache.hits.{self.detect_plan}")
-            return self._plan_cache[key]
-        self.plan_cache_misses += 1
-        self.telemetry.inc("plan_cache.misses")
-        self.telemetry.inc(f"plan_cache.misses.{self.detect_plan}")
-        plan = build()
-        self._plan_cache[key] = plan
-        return plan
+        with self._cache_lock:
+            if key in self._plan_cache:
+                self.plan_cache_hits += 1
+                self.telemetry.inc("plan_cache.hits")
+                self.telemetry.inc(f"plan_cache.hits.{self.detect_plan}")
+                return self._plan_cache[key]
+            self.plan_cache_misses += 1
+            self.telemetry.inc("plan_cache.misses")
+            self.telemetry.inc(f"plan_cache.misses.{self.detect_plan}")
+            plan = build()
+            self._plan_cache[key] = plan
+            return plan
 
     def invalidate_plans(self, tableau_name: Optional[str] = None) -> None:
         """Drop cached plans scoped to ``tableau_name`` (or all of them).
@@ -326,18 +334,21 @@ class DetectionSqlGenerator:
         a plan compiled for the previous occupant (including a cached
         "no ``Q_C`` exists" ``None``) must not survive the swap.
         """
-        if tableau_name is None:
-            if self._plan_cache:
-                self.telemetry.inc("plan_cache.invalidations", len(self._plan_cache))
-            self._plan_cache.clear()
-            self._tableau_owners.clear()
-            return
-        stale = [key for key in self._plan_cache if key[2] == tableau_name]
-        for key in stale:
-            del self._plan_cache[key]
-        if stale:
-            self.telemetry.inc("plan_cache.invalidations", len(stale))
-        self._tableau_owners.pop(tableau_name, None)
+        with self._cache_lock:
+            if tableau_name is None:
+                if self._plan_cache:
+                    self.telemetry.inc(
+                        "plan_cache.invalidations", len(self._plan_cache)
+                    )
+                self._plan_cache.clear()
+                self._tableau_owners.clear()
+                return
+            stale = [key for key in self._plan_cache if key[2] == tableau_name]
+            for key in stale:
+                del self._plan_cache[key]
+            if stale:
+                self.telemetry.inc("plan_cache.invalidations", len(stale))
+            self._tableau_owners.pop(tableau_name, None)
 
     def claim_tableau(self, tableau_name: str, cfd: CFD) -> None:
         """Record that ``tableau_name`` is being (re-)materialised for ``cfd``.
@@ -350,15 +361,17 @@ class DetectionSqlGenerator:
         tableau content is a pure function of the CFD, so the cached SQL
         stays valid and repeated detections reuse it.
         """
-        owner = self._tableau_owners.get(tableau_name)
-        if owner is not None and owner == cfd:
-            return
-        self.invalidate_plans(tableau_name)
-        self._tableau_owners[tableau_name] = cfd
+        with self._cache_lock:
+            owner = self._tableau_owners.get(tableau_name)
+            if owner is not None and owner == cfd:
+                return
+            self.invalidate_plans(tableau_name)
+            self._tableau_owners[tableau_name] = cfd
 
     def plan_cache_size(self) -> int:
         """Number of cached prepared plans (for tests and benchmarks)."""
-        return len(self._plan_cache)
+        with self._cache_lock:
+            return len(self._plan_cache)
 
     # -- helpers ----------------------------------------------------------------
 

@@ -132,6 +132,24 @@ class InstrumentedBackend:
     def ensure_index(self, name: str, attributes: Sequence[str]) -> None:
         self._timed("ensure_index", self.inner.ensure_index, name, attributes)
 
+    # -- concurrent serving --------------------------------------------------------
+
+    def read_connection(
+        self, snapshot: bool = False, timeout: Optional[float] = None
+    ) -> Any:
+        """Forward the read-pinning context to the wrapped backend.
+
+        Explicit (rather than via ``__getattr__``) so the concurrent
+        serving seam is a stated part of the proxy's contract: statements
+        issued through the proxy inside the block still land on the
+        pinned connection, because the proxy delegates ``execute`` to the
+        same inner backend that did the pinning.
+        """
+        return self.inner.read_connection(snapshot=snapshot, timeout=timeout)
+
+    def pool_stats(self) -> Dict[str, Any]:
+        return self.inner.pool_stats()
+
     # -- lifecycle (dunder protocol lookups bypass __getattr__) ---------------------
 
     def close(self) -> None:

@@ -12,15 +12,27 @@ nothing when telemetry is disabled (callers guard on
 Snapshots are plain dicts with deterministically sorted keys, so two
 identical workloads produce identical counter snapshots — a property the
 telemetry test suite pins.
+
+The instruments are shared across the serving layer's worker threads, so
+every mutation (increment, observation, lazy creation) happens under one
+module-level lock: ``value += amount`` is a read-modify-write that loses
+increments under contention otherwise.  A single lock keeps the
+uncontended cost to one atomic acquire — these are telemetry updates, not
+hot-loop arithmetic — and the concurrency test suite pins "counter totals
+under contention equal the single-thread sum" on it.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional
+
+#: guards every instrument mutation and registry map across threads
+_METRICS_LOCK = threading.Lock()
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric (thread-safe)."""
 
     __slots__ = ("value",)
 
@@ -29,7 +41,8 @@ class Counter:
 
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (default 1) to the counter."""
-        self.value += amount
+        with _METRICS_LOCK:
+            self.value += amount
 
 
 class Histogram:
@@ -50,13 +63,14 @@ class Histogram:
         self.max: Optional[float] = None
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        """Record one observation (thread-safe)."""
+        with _METRICS_LOCK:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -85,14 +99,20 @@ class MetricsRegistry:
         """The counter called ``name`` (created at zero if missing)."""
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter()
+            with _METRICS_LOCK:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter()
         return counter
 
     def histogram(self, name: str) -> Histogram:
         """The histogram called ``name`` (created empty if missing)."""
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram()
+            with _METRICS_LOCK:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram()
         return histogram
 
     def counter_value(self, name: str) -> int:
@@ -102,18 +122,20 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every instrument (a fresh registry)."""
-        self._counters.clear()
-        self._histograms.clear()
+        with _METRICS_LOCK:
+            self._counters.clear()
+            self._histograms.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view of every instrument, keys sorted."""
-        return {
-            "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
-            },
-            "histograms": {
-                name: self._histograms[name].to_dict()
-                for name in sorted(self._histograms)
-            },
-        }
+        with _METRICS_LOCK:
+            return {
+                "counters": {
+                    name: self._counters[name].value
+                    for name in sorted(self._counters)
+                },
+                "histograms": {
+                    name: self._histograms[name].to_dict()
+                    for name in sorted(self._histograms)
+                },
+            }

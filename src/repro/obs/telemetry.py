@@ -28,6 +28,7 @@ because the backend's ``execute`` only ever sees SQL text.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
@@ -72,9 +73,20 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         #: captured EXPLAIN QUERY PLAN output, one entry per distinct SQL text
         self._plans: Dict[str, Dict[str, Any]] = {}
+        self._plans_lock = threading.Lock()
         #: statement-kind hint for the next backend ``execute`` calls (set
-        #: by the detectors around each generated query)
-        self._kind_hint: Optional[str] = None
+        #: by the detectors around each generated query).  Thread-local:
+        #: a serving-layer worker's tag must not leak into statements other
+        #: threads are executing concurrently.
+        self._local = threading.local()
+
+    @property
+    def _kind_hint(self) -> Optional[str]:
+        return getattr(self._local, "kind_hint", None)
+
+    @_kind_hint.setter
+    def _kind_hint(self, value: Optional[str]) -> None:
+        self._local.kind_hint = value
 
     # -- activity --------------------------------------------------------------
 
@@ -162,21 +174,25 @@ class Telemetry:
         detail_text = " ".join(
             str(value) for row in detail for value in row.values()
         ).upper()
-        self._plans[sql] = {
+        entry = {
             "kind": kind,
             "sql": sql,
             "detail": detail,
             "uses_index": any(marker in detail_text for marker in _INDEX_MARKERS),
         }
+        with self._plans_lock:
+            self._plans.setdefault(sql, entry)
 
     @property
     def plans(self) -> List[Dict[str, Any]]:
         """Captured plans in capture order (one per distinct SQL text)."""
-        return list(self._plans.values())
+        with self._plans_lock:
+            return list(self._plans.values())
 
     def plans_for(self, kind: str) -> List[Dict[str, Any]]:
         """Captured plans whose statements the generator tagged ``kind``."""
-        return [plan for plan in self._plans.values() if plan["kind"] == kind]
+        with self._plans_lock:
+            return [plan for plan in self._plans.values() if plan["kind"] == kind]
 
     # -- snapshot ------------------------------------------------------------------
 
@@ -184,7 +200,8 @@ class Telemetry:
         """Drop every recorded metric, span and plan (flags unchanged)."""
         self.tracer.reset()
         self.metrics.reset()
-        self._plans.clear()
+        with self._plans_lock:
+            self._plans.clear()
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view of everything recorded so far (JSON-ready)."""

@@ -8,10 +8,17 @@ totals.  Spans close correctly on exceptions (the span is marked
 list and each span's child list are bounded: a long-running monitor
 session cannot grow the trace without limit, it just counts what it
 dropped.
+
+The open-span stack is **thread-local**: each serving-layer worker
+thread nests its own spans under its own roots (a worker's ``detect``
+span must not become a child of whatever span another thread happens to
+have open).  The shared root list and drop counters are mutated under a
+lock, so concurrent workers never lose or corrupt the forest.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List
@@ -69,7 +76,16 @@ class Tracer:
         self.max_children = max_children
         self.roots: List[Span] = []
         self.dropped_roots = 0
-        self._stack: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack (created empty on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str, **tags: Any) -> Iterator[Span]:
@@ -82,18 +98,21 @@ class Tracer:
         the parent's ``dropped_children`` count.
         """
         span = Span(name, tags)
-        if self._stack:
-            parent = self._stack[-1]
+        stack = self._stack
+        if stack:
+            # the parent span belongs to this thread alone: no lock needed
+            parent = stack[-1]
             if len(parent.children) < self.max_children:
                 parent.children.append(span)
             else:
                 parent.dropped_children += 1
         else:
-            if len(self.roots) < self.max_roots:
-                self.roots.append(span)
-            else:
-                self.dropped_roots += 1
-        self._stack.append(span)
+            with self._lock:
+                if len(self.roots) < self.max_roots:
+                    self.roots.append(span)
+                else:
+                    self.dropped_roots += 1
+        stack.append(span)
         started = time.perf_counter()
         try:
             yield span
@@ -106,17 +125,21 @@ class Tracer:
 
     @property
     def depth(self) -> int:
-        """Number of currently open spans (0 outside any span)."""
+        """Number of currently open spans on *this* thread (0 outside any)."""
         return len(self._stack)
 
     def reset(self) -> None:
         """Drop every recorded root span (open spans keep nesting correctly)."""
-        self.roots = []
-        self.dropped_roots = 0
+        with self._lock:
+            self.roots = []
+            self.dropped_roots = 0
 
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view of the recorded span forest."""
+        with self._lock:
+            roots = list(self.roots)
+            dropped = self.dropped_roots
         return {
-            "roots": [span.to_dict() for span in self.roots],
-            "dropped_roots": self.dropped_roots,
+            "roots": [span.to_dict() for span in roots],
+            "dropped_roots": dropped,
         }

@@ -104,6 +104,21 @@ class SemandaqConfig:
         Log every backend statement at DEBUG level on the
         ``repro.obs.instrument`` logger (the package root logger carries a
         ``NullHandler``; attach a handler to see the output).
+    pool_size:
+        Size of the SQLite reader-connection pool the concurrent serving
+        layer hands out to worker threads (file-backed stores only; a
+        ``:memory:`` database is private to its connection, so the pool
+        is disabled there regardless).  ``0`` forces single-connection
+        mode — every read shares the writer connection under its lock —
+        which is the THROUGHPUT benchmark's baseline.  ``None`` keeps the
+        backend default (4).  Ignored by backends without a pool.
+    serve_threads:
+        Default worker-thread count of :meth:`Semandaq.serve`, the
+        concurrent entry point fanning ``detect_for_tuples`` requests
+        across a thread pool.
+    pool_timeout:
+        Seconds a reader waits for a pooled connection before raising
+        ``PoolTimeoutError`` (pool exhaustion blocks, bounded by this).
     """
 
     backend: str = "memory"
@@ -124,6 +139,9 @@ class SemandaqConfig:
     quality_strategy: str = "linear"
     attribute_weights: Dict[str, float] = field(default_factory=dict)
     check_consistency_on_add: bool = True
+    pool_size: Optional[int] = None
+    serve_threads: int = 4
+    pool_timeout: float = 30.0
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` on out-of-range settings."""
@@ -184,3 +202,9 @@ class SemandaqConfig:
                 raise ConfigurationError(
                     f"attribute weight for {attribute!r} must be positive"
                 )
+        if self.pool_size is not None and self.pool_size < 0:
+            raise ConfigurationError("pool_size must be >= 0 or None")
+        if self.serve_threads < 1:
+            raise ConfigurationError("serve_threads must be at least 1")
+        if self.pool_timeout <= 0:
+            raise ConfigurationError("pool_timeout must be positive")

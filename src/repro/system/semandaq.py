@@ -18,6 +18,8 @@ the demo walks through:
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from ..audit.report import DataAuditor, DataQualityReport
@@ -67,9 +69,16 @@ class Semandaq:
             # single copy of the data (the seed behaviour).
             self.backend = MemoryBackend(self.database)
         else:
-            self.backend = create_backend(
-                self.config.backend, **self.config.backend_options
-            )
+            backend_options = dict(self.config.backend_options)
+            if self.config.backend == "sqlite":
+                # thread the serving-layer knobs through to the reader pool
+                # (explicit backend_options win over the config fields)
+                if self.config.pool_size is not None:
+                    backend_options.setdefault("pool_size", self.config.pool_size)
+                backend_options.setdefault(
+                    "pool_timeout", self.config.pool_timeout
+                )
+            self.backend = create_backend(self.config.backend, **backend_options)
         self._backend_shared = (
             isinstance(self.backend, MemoryBackend)
             and self.backend.database is self.database
@@ -111,6 +120,10 @@ class Semandaq:
         #: (set when the working store mutates outside the delta-shipping
         #: paths; cleared by the next full sync)
         self._stale: Set[str] = set()
+        #: guards the sync-state sets and the sync decision itself, so
+        #: concurrent ``serve()`` workers cannot race a bulk re-sync (two
+        #: threads both seeing "never synced" would double-load)
+        self._sync_lock = threading.RLock()
         #: number of whole-relation bulk loads shipped to the backend
         #: (``add_relation(replace=True)``); tests and benchmarks read this
         #: to assert the delta paths avoid full re-syncs
@@ -173,14 +186,17 @@ class Semandaq:
         """
         if self._backend_shared:
             return
-        self.backend.add_relation(self.database.relation(relation_name), replace=True)
-        self._synced.add(relation_name)
-        self._stale.discard(relation_name)
-        self.full_sync_count += 1
-        self.telemetry.inc("sync.full")
-        monitor = self._monitors.get(relation_name)
-        if monitor is not None:
-            monitor.mark_backend_resynced()
+        with self._sync_lock:
+            self.backend.add_relation(
+                self.database.relation(relation_name), replace=True
+            )
+            self._synced.add(relation_name)
+            self._stale.discard(relation_name)
+            self.full_sync_count += 1
+            self.telemetry.inc("sync.full")
+            monitor = self._monitors.get(relation_name)
+            if monitor is not None:
+                monitor.mark_backend_resynced()
 
     def _sync_backend_if_stale(self, relation_name: str) -> None:
         """Re-sync only when the backend copy may be out of date.
@@ -196,13 +212,14 @@ class Semandaq:
         """
         if self._backend_shared:
             return
-        monitor = self._monitors.get(relation_name)
-        if (
-            relation_name not in self._synced
-            or relation_name in self._stale
-            or (monitor is not None and monitor.backend_desynced)
-        ):
-            self._sync_backend(relation_name)
+        with self._sync_lock:
+            monitor = self._monitors.get(relation_name)
+            if (
+                relation_name not in self._synced
+                or relation_name in self._stale
+                or (monitor is not None and monitor.backend_desynced)
+            ):
+                self._sync_backend(relation_name)
 
     def mark_backend_stale(self, relation_name: str) -> None:
         """Flag ``relation_name`` for a full re-sync before the next detect.
@@ -211,7 +228,8 @@ class Semandaq:
         monitor and repair paths, which keep the backend current on their
         own).
         """
-        self._stale.add(relation_name)
+        with self._sync_lock:
+            self._stale.add(relation_name)
 
     def schema_summary(self) -> Dict[str, List[str]]:
         """The automatically discovered schema shown after connecting."""
@@ -271,6 +289,45 @@ class Semandaq:
         self._sync_backend_if_stale(relation_name)
         cfds = self.constraints.cfds(relation_name)
         return self.detector.detect_for_tuples(relation_name, cfds, tids)
+
+    def serve(
+        self,
+        relation_name: str,
+        requests: Sequence[Iterable[int]],
+        max_workers: Optional[int] = None,
+    ) -> List[ViolationReport]:
+        """Answer many ``detect_for_tuples`` requests concurrently.
+
+        This is the serving-layer entry point: each element of
+        ``requests`` is one application's tid set, and the requests are
+        fanned across a thread pool of ``max_workers`` threads
+        (``SemandaqConfig.serve_threads`` by default).  On a file-backed
+        SQLite store each worker checks a read-only connection out of the
+        reader pool and runs its detection inside one snapshot, so
+        requests proceed in parallel with each other *and* with a monitor
+        streaming update batches through the writer connection.  Results
+        are returned in request order.  With one worker (or one request)
+        the requests run serially on the calling thread.
+        """
+        self._sync_backend_if_stale(relation_name)
+        cfds = self.constraints.cfds(relation_name)
+        workers = max_workers if max_workers is not None else self.config.serve_threads
+        if workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        tid_sets = [list(tids) for tids in requests]
+        if workers == 1 or len(tid_sets) <= 1:
+            return [
+                self.detector.detect_for_tuples(relation_name, cfds, tids)
+                for tids in tid_sets
+            ]
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(
+                    self.detector.detect_for_tuples, relation_name, cfds, tids
+                )
+                for tids in tid_sets
+            ]
+            return [future.result() for future in futures]
 
     def last_report(self, relation_name: str) -> ViolationReport:
         """The most recent detection report for ``relation_name`` (detects if missing)."""
@@ -603,8 +660,17 @@ class Semandaq:
         statement shape with its ``uses_index`` verdict.  Everything is
         JSON-serialisable; with telemetry off the snapshot is empty but
         well-formed.
+
+        On a pooled SQLite backend the snapshot's counters additionally
+        carry the reader pool's live acquisition statistics
+        (``pool.size``/``pool.open``/``pool.acquired``/``pool.wait_ms``/
+        ``pool.timeouts``), folded in at snapshot time.
         """
-        return self.telemetry.snapshot()
+        snapshot = self.telemetry.snapshot()
+        pool_stats = self.backend.pool_stats()
+        if pool_stats:
+            snapshot["counters"] = {**snapshot["counters"], **pool_stats}
+        return snapshot
 
     def trace(self, name: str, **tags: Any):
         """Open a named span around a block of user code.
@@ -626,11 +692,13 @@ class Semandaq:
 
         The memory backend has nothing to release; file-backed backends
         close their connection so the database file is unlocked.  Any
-        ``sql_delta`` monitors drop their resident tableaux first, so a
-        shared in-memory store is left clean.
+        ``sql_delta`` monitors drop their resident tableaux first, and the
+        detector drops its cached detection tableaux, so a shared
+        in-memory store is left clean.
         """
         for monitor in self._monitors.values():
             monitor.close()
+        self.detector.release_cached_tableaux()
         self.backend.close()
 
     def __enter__(self) -> "Semandaq":

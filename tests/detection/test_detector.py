@@ -54,9 +54,19 @@ class TestDetectExample:
         assert detector.last_sql
         assert any("GROUP BY" in sql for sql in detector.last_sql)
 
-    def test_temporary_tableaux_cleaned_up(self, detector, customer_cfds, customer_database):
+    def test_cached_tableaux_released_on_demand(
+        self, detector, customer_cfds, customer_database
+    ):
+        # tableaux stay cached between detections (repeat detects are pure
+        # reads — the concurrent serving contract), live in the reserved
+        # __semandaq_ namespace, and drop on release_cached_tableaux()
         before = set(customer_database.relation_names())
         detector.detect("customer", customer_cfds)
+        lingering = set(customer_database.relation_names()) - before
+        assert lingering
+        assert all(name.startswith("__semandaq_tableau") for name in lingering)
+        detector.detect("customer", customer_cfds)  # reuses the cache
+        detector.release_cached_tableaux()
         assert set(customer_database.relation_names()) == before
 
     def test_wrong_relation_rejected(self, detector):

@@ -49,6 +49,23 @@ class TestSemandaqConfig:
         SemandaqConfig(backend="sqlite").validate()
         SemandaqConfig(backend="sqlite", backend_options={"path": ":memory:"}).validate()
 
+    def test_serving_knobs_are_valid(self):
+        SemandaqConfig(pool_size=0).validate()
+        SemandaqConfig(pool_size=8, serve_threads=2, pool_timeout=1.5).validate()
+        SemandaqConfig(pool_size=None).validate()
+
+    def test_invalid_pool_size(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(pool_size=-1).validate()
+
+    def test_invalid_serve_threads(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(serve_threads=0).validate()
+
+    def test_invalid_pool_timeout(self):
+        with pytest.raises(ConfigurationError):
+            SemandaqConfig(pool_timeout=0.0).validate()
+
     def test_custom_valid_config(self):
         SemandaqConfig(
             use_sql_detection=False,

@@ -82,6 +82,76 @@ class TestDetectAuditExplore:
         assert semandaq.detect("customer").total_violations() >= 3
 
 
+class TestServe:
+    def _serving_system(self, tmp_path, customer_relation, customer_cfds, **overrides):
+        config = SemandaqConfig(
+            backend="sqlite",
+            backend_options={"path": str(tmp_path / "serve.db")},
+            **overrides,
+        )
+        semandaq = Semandaq(config)
+        semandaq.register_relation(customer_relation)
+        semandaq.add_cfds(customer_cfds)
+        return semandaq
+
+    def test_serve_matches_serial_detect_for_tuples(
+        self, tmp_path, customer_relation, customer_cfds
+    ):
+        semandaq = self._serving_system(
+            tmp_path, customer_relation, customer_cfds, serve_threads=4
+        )
+        requests = [[0, 1], [2, 3], [4], [5], [0, 4], [1, 5]]
+        serial = [
+            semandaq.detect_for_tuples("customer", tids) for tids in requests
+        ]
+        concurrent = semandaq.serve("customer", requests)
+        assert concurrent == serial
+        semandaq.close()
+
+    def test_serve_single_worker_runs_serially(
+        self, tmp_path, customer_relation, customer_cfds
+    ):
+        semandaq = self._serving_system(
+            tmp_path, customer_relation, customer_cfds, serve_threads=1
+        )
+        reports = semandaq.serve("customer", [[4], [0, 1]])
+        assert len(reports) == 2
+        assert all(4 in v.tids for v in reports[0].violations)
+        semandaq.close()
+
+    def test_serve_rejects_invalid_worker_count(
+        self, tmp_path, customer_relation, customer_cfds
+    ):
+        semandaq = self._serving_system(tmp_path, customer_relation, customer_cfds)
+        with pytest.raises(ConfigurationError):
+            semandaq.serve("customer", [[0]], max_workers=0)
+        semandaq.close()
+
+    def test_pool_counters_surface_in_metrics(
+        self, tmp_path, customer_relation, customer_cfds
+    ):
+        semandaq = self._serving_system(
+            tmp_path, customer_relation, customer_cfds, telemetry=True, pool_size=2
+        )
+        semandaq.serve("customer", [[0], [1], [2], [3]])
+        counters = semandaq.metrics()["counters"]
+        assert counters["pool.size"] == 2
+        assert counters["pool.acquired"] >= 1
+        assert "pool.wait_ms" in counters
+        semandaq.close()
+
+    def test_pool_size_zero_config_serves_correctly(
+        self, tmp_path, customer_relation, customer_cfds
+    ):
+        semandaq = self._serving_system(
+            tmp_path, customer_relation, customer_cfds, pool_size=0
+        )
+        assert semandaq.backend.pool_stats() == {}
+        serial = [semandaq.detect_for_tuples("customer", [4])]
+        assert semandaq.serve("customer", [[4]]) == serial
+        semandaq.close()
+
+
 class TestRepairReviewApply:
     def test_repair_and_review(self, system):
         repair = system.repair("customer")
